@@ -1,0 +1,73 @@
+// Search-strategy comparison: the paper's deterministic constructive
+// heuristic (Algorithm 2) vs simulated annealing (cold and warm start)
+// under the identical evaluation model. Quantifies how much quality the
+// fast constructive search leaves on the table.
+#include <cstdint>
+#include <iostream>
+
+#include "core/flow.h"
+#include "soc/benchmarks.h"
+#include "tam/annealing.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace sitam;
+
+int main() {
+  for (const char* soc_name : {"p34392", "p93791"}) {
+    const Soc soc = load_benchmark(soc_name);
+    SiWorkloadConfig workload_config;
+    workload_config.pattern_count = 20000;
+    workload_config.groupings = {4};
+    const SiWorkload workload = SiWorkload::prepare(soc, workload_config);
+    const SiTestSet& tests = workload.tests(4);
+
+    std::cout << "== " << soc_name << " (N_r = 20000, i = 4) ==\n";
+    TextTable table;
+    table.add_column("Wmax");
+    table.add_column("Alg.2 (cc)");
+    table.add_column("Alg.2 (s)");
+    table.add_column("SA cold (cc)");
+    table.add_column("SA cold (s)");
+    table.add_column("SA warm (cc)");
+    table.add_column("warm vs Alg.2 (%)");
+
+    for (const int w : {16, 32, 64}) {
+      const TestTimeTable time_table(soc, w);
+
+      Stopwatch alg2_watch;
+      const auto alg2 = optimize_tam(soc, time_table, tests, w);
+      const double alg2_seconds = alg2_watch.seconds();
+
+      AnnealingConfig cold;
+      cold.iterations = 60000;
+      Stopwatch cold_watch;
+      const auto sa_cold =
+          optimize_tam_annealing(soc, time_table, tests, w, cold);
+      const double cold_seconds = cold_watch.seconds();
+
+      AnnealingConfig warm = cold;
+      warm.warm_start = true;
+      warm.iterations = 30000;
+      const auto sa_warm =
+          optimize_tam_annealing(soc, time_table, tests, w, warm);
+
+      table.begin_row();
+      table.cell(static_cast<std::int64_t>(w));
+      table.cell(alg2.evaluation.t_soc);
+      table.cell(alg2_seconds, 3);
+      table.cell(sa_cold.evaluation.t_soc);
+      table.cell(cold_seconds, 3);
+      table.cell(sa_warm.evaluation.t_soc);
+      table.cell(100.0 *
+                     static_cast<double>(alg2.evaluation.t_soc -
+                                         sa_warm.evaluation.t_soc) /
+                     static_cast<double>(alg2.evaluation.t_soc),
+                 2);
+    }
+    std::cout << table << "\n";
+  }
+  std::cout << "warm start = annealing refinement seeded with the Alg.2 "
+               "result (can only improve it).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces the §2 argument against hardware-only (BIST) SI testing:
+// per-core pseudo-random generators cannot coordinate cross-core coupling
+// neighborhoods, so MA fault coverage climbs slowly with the cycle budget
+// and degrades with the coupling window — while the deterministic MA set
+// (loadable from the tester through the optimized TAM) reaches 100% with
+// 6 patterns per victim.
+#include <cstdint>
+#include <iostream>
+
+#include "interconnect/terminal_space.h"
+#include "interconnect/topology.h"
+#include "pattern/bist.h"
+#include "pattern/compaction.h"
+#include "pattern/generator.h"
+#include "soc/benchmarks.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace sitam;
+
+int main() {
+  const Soc soc = load_benchmark("d695");
+  const TerminalSpace ts(soc);
+  Rng rng(0x20070604ULL);
+  TopologyConfig topo_config;
+  topo_config.wires_per_link = 16;
+  topo_config.with_bus = false;
+  const Topology topo = generate_topology(ts, topo_config, rng);
+  std::cout << "d695 topology: " << topo.nets.size()
+            << " core-external nets\n\n";
+
+  for (const int window : {1, 2, 3}) {
+    const auto deterministic = generate_ma_patterns(topo, ts, window);
+    const auto compacted =
+        compact_greedy(deterministic, ts.total(), 0);
+    const auto deterministic_cov =
+        ma_fault_coverage(compacted.patterns, topo, window);
+    std::cout << "window k=" << window << ": deterministic MA set = "
+              << deterministic.size() << " pairs (" << compacted.patterns.size()
+              << " after compaction), coverage "
+              << deterministic_cov.percent() << " %\n";
+
+    TextTable table;
+    table.add_column("BIST cycles");
+    table.add_column("MA coverage (%)");
+    const std::vector<int> checkpoints = {64,   256,   1024,
+                                          4096, 16384, 65536};
+    const auto curve =
+        bist_ma_coverage_curve(topo, ts, window, checkpoints, 7);
+    for (const BistCoveragePoint& point : curve) {
+      table.begin_row();
+      table.cell(static_cast<std::int64_t>(point.cycles));
+      table.cell(point.coverage.percent(), 2);
+    }
+    std::cout << table << "\n";
+  }
+  std::cout
+      << "BIST patterns are fully specified (no don't-cares), so they do "
+         "not compact and each cycle exercises combinations that may be "
+         "invalid in functional mode (over-testing), while wide coupling "
+         "neighborhoods stay under-tested for any realistic budget.\n";
+  return 0;
+}

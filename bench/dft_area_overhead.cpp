@@ -1,0 +1,59 @@
+// DFT cost of SI-capable wrappers: gate-equivalent area of the standard
+// IEEE-1500 wrapper boundary vs the SI-enhanced cells (transition-launch
+// WOCs + ILS-bearing WICs) for each benchmark SOC under its optimized
+// architecture, next to the test-time benefit those wrappers unlock.
+#include <cstdint>
+#include <iostream>
+
+#include "core/flow.h"
+#include "soc/benchmarks.h"
+#include "tam/area.h"
+#include "util/table.h"
+
+using namespace sitam;
+
+int main() {
+  TextTable table;
+  table.add_column("SOC", Align::kLeft);
+  table.add_column("Wmax");
+  table.add_column("std wrapper (GE)");
+  table.add_column("SI extra (GE)");
+  table.add_column("overhead (%)");
+  table.add_column("T[8] (cc)");
+  table.add_column("Tmin (cc)");
+  table.add_column("time saved (%)");
+
+  for (const char* soc_name : {"d695", "p34392", "p93791"}) {
+    const Soc soc = load_benchmark(soc_name);
+    SiWorkloadConfig config;
+    config.pattern_count = 10000;
+    const SiWorkload workload = SiWorkload::prepare(soc, config);
+    for (const int w : {16, 32}) {
+      const ExperimentOutcome outcome = run_experiment(workload, w);
+      // Area of the winning SI-aware architecture.
+      const OptimizeResult* best = nullptr;
+      for (std::size_t i = 0; i < outcome.per_grouping.size(); ++i) {
+        if (workload.groupings()[i] == outcome.best_grouping) {
+          best = &outcome.per_grouping[i];
+        }
+      }
+      const WrapperArea area =
+          soc_wrapper_area(soc, best->architecture);
+      table.begin_row();
+      table.cell(std::string(soc_name));
+      table.cell(static_cast<std::int64_t>(w));
+      table.cell(area.standard_ge, 0);
+      table.cell(area.si_extra_ge, 0);
+      table.cell(area.overhead_pct(), 1);
+      table.cell(outcome.t_baseline);
+      table.cell(outcome.t_min);
+      table.cell(outcome.delta_baseline_pct(), 2);
+    }
+  }
+  std::cout << "== Silicon cost vs test-time benefit of SI-capable "
+               "wrappers ==\n"
+            << table
+            << "(SI extra = transition-launch WOCs + integrity-loss-sensor "
+               "WICs; overhead is relative to the plain wrapper)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Fig. 2 of the paper: hypergraph partitioning for SI test
+// pattern length reduction. Builds the figure's 8-core instance, partitions
+// it 2-way, and reports which hyperedges (care-core sets) are cut — those
+// patterns stay at full length while all others shrink to their group's WOC
+// sum. Then repeats the exercise on a real random workload over p93791 for
+// i in {2,4,8} and reports the achieved length reduction.
+#include <cstdint>
+#include <iostream>
+
+#include "hypergraph/partition.h"
+#include "interconnect/terminal_space.h"
+#include "pattern/generator.h"
+#include "sitest/group.h"
+#include "soc/benchmarks.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace sitam;
+
+namespace {
+
+void figure2_instance() {
+  std::cout << "== Fig. 2: the paper's 8-core example ==\n";
+  // Two tightly-coupled core clusters {1,2,3,7} and {4,5,6,8} plus the
+  // 7-4-6 hyperedge that must be cut (1-based core ids as in the figure;
+  // 0-based internally).
+  Hypergraph hg;
+  hg.vertex_weights.assign(8, 1);
+  hg.edges = {
+      Hyperedge{{0, 1}, 5},    Hyperedge{{1, 2}, 5},
+      Hyperedge{{0, 2, 6}, 5}, Hyperedge{{1, 6}, 5},
+      Hyperedge{{3, 4}, 5},    Hyperedge{{4, 5}, 5},
+      Hyperedge{{3, 5, 7}, 5}, Hyperedge{{4, 7}, 5},
+      Hyperedge{{3, 5, 6}, 1},  // the 7-4-6 hyperedge of the figure
+  };
+  hg.normalize();
+  const Partition partition = partition_hypergraph(hg, 2);
+  std::cout << "partition:";
+  for (int v = 0; v < hg.vertex_count(); ++v) {
+    std::cout << " core" << v + 1 << "->G"
+              << partition.part_of[static_cast<std::size_t>(v)] + 1;
+  }
+  std::cout << "\ncut hyperedges (patterns that stay full-length):\n";
+  for (const Hyperedge& e : hg.edges) {
+    if (!partition.is_cut(e)) continue;
+    std::cout << "  {";
+    for (std::size_t i = 0; i < e.pins.size(); ++i) {
+      std::cout << (i ? "," : "") << e.pins[i] + 1;
+    }
+    std::cout << "} x" << e.weight << "\n";
+  }
+  std::cout << "cut weight: " << partition.cut_weight(hg) << " of "
+            << hg.total_edge_weight() << " patterns\n\n";
+}
+
+void real_workload() {
+  std::cout << "== SI pattern length reduction on p93791 ==\n";
+  const Soc soc = load_benchmark("p93791");
+  const TerminalSpace ts(soc);
+  Rng rng(0x20070604ULL);
+  const RandomPatternConfig pattern_config;
+  const auto patterns = generate_random_patterns(ts, 20000, pattern_config,
+                                                 rng);
+  const GroupingConfig grouping_config;
+
+  // Data volume model of §3: a pattern in group g costs (sum of g's WOCs)
+  // bits; a remainder pattern costs the full WOC sum.
+  const std::int64_t full_length = soc.total_woc();
+
+  TextTable table;
+  table.add_column("i");
+  table.add_column("compacted");
+  table.add_column("remainder");
+  table.add_column("volume (bits)");
+  table.add_column("vs i=1 (%)");
+
+  std::int64_t base_volume = 0;
+  for (const int parts : {1, 2, 4, 8}) {
+    const SiTestSet set =
+        build_si_test_set(patterns, ts, parts, grouping_config);
+    std::int64_t volume = 0;
+    std::int64_t remainder = 0;
+    for (const SiTestGroup& g : set.groups) {
+      std::int64_t group_length = 0;
+      for (const int c : g.cores) {
+        group_length += soc.modules[static_cast<std::size_t>(c)].woc();
+      }
+      volume += g.patterns * (g.is_remainder ? full_length : group_length);
+      if (g.is_remainder) remainder = g.patterns;
+    }
+    if (parts == 1) base_volume = volume;
+    table.begin_row();
+    table.cell(static_cast<std::int64_t>(parts));
+    table.cell(set.total_patterns());
+    table.cell(remainder);
+    table.cell(volume);
+    table.cell(100.0 * static_cast<double>(base_volume - volume) /
+                   static_cast<double>(base_volume),
+               2);
+  }
+  std::cout << table
+            << "(positive % = test data volume saved by the horizontal "
+               "dimension)\n";
+}
+
+}  // namespace
+
+int main() {
+  figure2_instance();
+  real_workload();
+  return 0;
+}

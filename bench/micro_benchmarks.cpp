@@ -1,0 +1,211 @@
+// google-benchmark microbenchmarks for the library's hot paths: wrapper
+// design, pattern generation, greedy compaction, hypergraph partitioning,
+// architecture evaluation (incl. Algorithm 1 scheduling) and the full
+// Algorithm 2 optimizer.
+#include <benchmark/benchmark.h>
+
+#include "core/flow.h"
+#include "hypergraph/partition.h"
+#include "interconnect/terminal_space.h"
+#include "pattern/compaction.h"
+#include "pattern/generator.h"
+#include "sitest/group.h"
+#include "soc/benchmarks.h"
+#include "tam/annealing.h"
+#include "tam/evaluator.h"
+#include "tam/exhaustive.h"
+#include "tam/optimizer.h"
+#include "tam/rectpack.h"
+#include "tam/verify.h"
+#include "util/rng.h"
+#include "wrapper/design.h"
+
+namespace {
+
+using namespace sitam;
+
+const Soc& p93791() {
+  static const Soc soc = load_benchmark("p93791");
+  return soc;
+}
+
+void BM_WrapperDesign(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const Module& m = soc.module_by_id(6);  // the largest core
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design_wrapper(m, width));
+  }
+}
+BENCHMARK(BM_WrapperDesign)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_TestTimeTable(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TestTimeTable(soc, width));
+  }
+}
+BENCHMARK(BM_TestTimeTable)->Arg(16)->Arg(64);
+
+void BM_PatternGeneration(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TerminalSpace ts(soc);
+  const auto count = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_random_patterns(ts, count, RandomPatternConfig{}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_PatternGeneration)->Arg(1000)->Arg(10000);
+
+void BM_CompactGreedy(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TerminalSpace ts(soc);
+  Rng rng(2);
+  const RandomPatternConfig config;
+  const auto patterns = generate_random_patterns(
+      ts, static_cast<std::int64_t>(state.range(0)), config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compact_greedy(patterns, ts.total(), config.bus_width));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompactGreedy)->Arg(1000)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CompactFirstFit(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TerminalSpace ts(soc);
+  Rng rng(2);
+  const RandomPatternConfig config;
+  const auto patterns = generate_random_patterns(
+      ts, static_cast<std::int64_t>(state.range(0)), config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compact_first_fit(patterns, ts.total(), config.bus_width));
+  }
+}
+BENCHMARK(BM_CompactFirstFit)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HypergraphPartition(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TerminalSpace ts(soc);
+  Rng rng(3);
+  const auto patterns =
+      generate_random_patterns(ts, 10000, RandomPatternConfig{}, rng);
+  const Hypergraph hg = build_core_hypergraph(patterns, ts);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_hypergraph(hg, k));
+  }
+}
+BENCHMARK(BM_HypergraphPartition)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BuildSiTestSet(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TerminalSpace ts(soc);
+  Rng rng(4);
+  const auto patterns =
+      generate_random_patterns(ts, 5000, RandomPatternConfig{}, rng);
+  const int parts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_si_test_set(patterns, ts, parts, GroupingConfig{}));
+  }
+}
+BENCHMARK(BM_BuildSiTestSet)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+SiTestSet sample_tests(const Soc& soc, int parts) {
+  const TerminalSpace ts(soc);
+  Rng rng(5);
+  const auto patterns =
+      generate_random_patterns(ts, 5000, RandomPatternConfig{}, rng);
+  return build_si_test_set(patterns, ts, parts, GroupingConfig{});
+}
+
+void BM_EvaluateArchitecture(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 64);
+  const SiTestSet tests = sample_tests(soc, 8);
+  const TamEvaluator evaluator(soc, table, tests);
+  // A representative mid-optimization architecture: 8 rails of 8 wires.
+  TamArchitecture arch;
+  for (int r = 0; r < 8; ++r) {
+    TestRail rail;
+    rail.width = 8;
+    for (int c = r; c < soc.core_count(); c += 8) rail.cores.push_back(c);
+    arch.rails.push_back(std::move(rail));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(arch));
+  }
+}
+BENCHMARK(BM_EvaluateArchitecture);
+
+void BM_OptimizeTam(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const int w = static_cast<int>(state.range(0));
+  const TestTimeTable table(soc, w);
+  const SiTestSet tests = sample_tests(soc, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_tam(soc, table, tests, w));
+  }
+}
+BENCHMARK(BM_OptimizeTam)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Annealing(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 32);
+  const SiTestSet tests = sample_tests(soc, 4);
+  AnnealingConfig config;
+  config.iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_tam_annealing(soc, table, tests, 32, config));
+  }
+}
+BENCHMARK(BM_Annealing)->Arg(10000)->Arg(60000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RectanglePacking(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const int w = static_cast<int>(state.range(0));
+  const TestTimeTable table(soc, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_intest_rectangles(soc, table, w));
+  }
+}
+BENCHMARK(BM_RectanglePacking)->Arg(16)->Arg(64);
+
+void BM_VerifyEvaluation(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 32);
+  const SiTestSet tests = sample_tests(soc, 8);
+  const OptimizeResult result = optimize_tam(soc, table, tests, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_evaluation(
+        soc, table, tests, result.architecture, result.evaluation));
+  }
+}
+BENCHMARK(BM_VerifyEvaluation);
+
+void BM_ExhaustiveMini5(benchmark::State& state) {
+  const Soc soc = load_benchmark("mini5");
+  const int w = static_cast<int>(state.range(0));
+  const TestTimeTable table(soc, w);
+  const SiTestSet tests = sample_tests(soc, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exhaustive_optimum(soc, table, tests, w));
+  }
+}
+BENCHMARK(BM_ExhaustiveMini5)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

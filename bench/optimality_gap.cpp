@@ -1,0 +1,126 @@
+// Optimality-gap study: on SOCs small enough for exhaustive architecture
+// enumeration, compare (a) the architecture-independent lower bounds,
+// (b) the exhaustive optimum, and (c) the Algorithm 2 heuristic. This
+// quantifies how much of the remaining gap is heuristic slack vs bound
+// looseness.
+#include <cstdint>
+#include <iostream>
+
+#include "core/flow.h"
+#include "soc/benchmarks.h"
+#include "soc/parser.h"
+#include "tam/bounds.h"
+#include "tam/exhaustive.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace sitam;
+
+namespace {
+
+// A 7-core SOC stressing the exhaustive enumerator a little harder than
+// mini5 (Bell(7) = 877 partitions).
+constexpr const char* kSeven = R"(Soc seven7
+Module 1 a
+  Inputs 10
+  Outputs 14
+  ScanChains 2x28
+  Patterns 45
+End
+Module 2 b
+  Inputs 6
+  Outputs 9
+  ScanChains 1x40
+  Patterns 30
+End
+Module 3 c
+  Inputs 14
+  Outputs 11
+  ScanChains 3x18
+  Patterns 38
+End
+Module 4 d
+  Inputs 8
+  Outputs 16
+  ScanChains 2x22
+  Patterns 26
+End
+Module 5 e
+  Inputs 5
+  Outputs 7
+  Patterns 55
+End
+Module 6 f
+  Inputs 12
+  Outputs 10
+  ScanChains 2x30
+  Patterns 33
+End
+Module 7 g
+  Inputs 9
+  Outputs 12
+  ScanChains 1x24
+  Patterns 41
+End
+)";
+
+void study(const Soc& soc, const std::vector<int>& widths) {
+  std::cout << "== " << soc.name << " (" << soc.core_count()
+            << " cores) ==\n";
+
+  SiWorkloadConfig workload_config;
+  workload_config.pattern_count = 600;
+  workload_config.groupings = {2};
+  const SiWorkload workload = SiWorkload::prepare(soc, workload_config);
+  const SiTestSet& tests = workload.tests(2);
+
+  TextTable table;
+  table.add_column("Wmax");
+  table.add_column("space");
+  table.add_column("LB (cc)");
+  table.add_column("exact (cc)");
+  table.add_column("Alg.2 (cc)");
+  table.add_column("heur gap (%)");
+  table.add_column("LB gap (%)");
+  table.add_column("exact (s)");
+
+  for (const int w : widths) {
+    const TestTimeTable time_table(soc, w);
+    const LowerBounds bounds = lower_bounds(soc, time_table, tests, w);
+    Stopwatch watch;
+    const OptimizeResult exact =
+        exhaustive_optimum(soc, time_table, tests, w);
+    const double exact_seconds = watch.seconds();
+    const OptimizeResult heuristic =
+        optimize_tam(soc, time_table, tests, w);
+
+    table.begin_row();
+    table.cell(static_cast<std::int64_t>(w));
+    table.cell(exhaustive_search_space(soc.core_count(), w));
+    table.cell(bounds.t_soc());
+    table.cell(exact.evaluation.t_soc);
+    table.cell(heuristic.evaluation.t_soc);
+    table.cell(100.0 *
+                   static_cast<double>(heuristic.evaluation.t_soc -
+                                       exact.evaluation.t_soc) /
+                   static_cast<double>(exact.evaluation.t_soc),
+               2);
+    table.cell(100.0 *
+                   static_cast<double>(exact.evaluation.t_soc -
+                                       bounds.t_soc()) /
+                   static_cast<double>(exact.evaluation.t_soc),
+               2);
+    table.cell(exact_seconds, 3);
+  }
+  std::cout << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  study(load_benchmark("mini5"), {2, 4, 6, 8, 10, 12});
+  study(parse_soc(kSeven), {4, 8, 12});
+  std::cout << "heur gap = Algorithm 2 vs exhaustive optimum; LB gap = how "
+               "loose the architecture-independent bounds are.\n";
+  return 0;
+}

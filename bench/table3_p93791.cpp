@@ -1,0 +1,9 @@
+// Regenerates Table 3 of the paper: overall SOC test time T_soc for
+// p93791 under the SI-oblivious baseline (T_[8]) and the proposed
+// TAM_Optimization with grouping i in {1,2,4,8}, for N_r in {10k, 100k}
+// and W_max in {8..64}.
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  return sitam::bench::run_table_bench("p93791", argc, argv);
+}

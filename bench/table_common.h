@@ -1,0 +1,88 @@
+// Shared driver for the Table 2 / Table 3 bench binaries.
+//
+// Runs the full §5 protocol for one benchmark SOC: for each N_r it prepares
+// the random SI workload, compacts it for every grouping i in {1,2,4,8},
+// sweeps W_max over 8..64 (step 8) and prints the paper-style table.
+//
+// Flags:
+//   --nr=10000,100000   initial interconnect pattern counts
+//   --widths=8,16,...   TAM widths
+//   --seed=N            workload seed
+//   --csv               also dump CSV after each table
+//   --fast              shrink N_r by 10x (CI-friendly smoke run)
+//   --cache=DIR         reuse compacted test sets across runs
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/flow.h"
+#include "core/report.h"
+#include "soc/benchmarks.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+
+namespace sitam::bench {
+
+inline int run_table_bench(const std::string& soc_name, int argc,
+                           char** argv) {
+  const CliArgs args(argc, argv);
+  std::vector<std::int64_t> pattern_counts =
+      args.get_list_or("nr", {10000, 100000});
+  const std::vector<std::int64_t> width_args =
+      args.get_list_or("widths", {8, 16, 24, 32, 40, 48, 56, 64});
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_or("seed", std::int64_t{0x20070604}));
+  if (args.has("fast")) {
+    for (auto& n : pattern_counts) n = std::max<std::int64_t>(100, n / 10);
+  }
+  std::vector<int> widths(width_args.begin(), width_args.end());
+
+  const Soc soc = load_benchmark(soc_name);
+  std::cout << "=== " << soc_name
+            << ": SOC test architecture optimization for SI faults ===\n";
+  std::cout << "cores: " << soc.core_count()
+            << ", total WOC: " << soc.total_woc()
+            << " bits, InTest volume: " << soc.total_test_data_volume()
+            << " bits\n\n";
+
+  for (const std::int64_t n_r : pattern_counts) {
+    SiWorkloadConfig config;
+    config.pattern_count = n_r;
+    config.seed = seed;
+
+    Stopwatch prep_watch;
+    const SiWorkload workload =
+        args.has("cache")
+            ? prepare_cached(soc, config,
+                             args.get_or("cache", std::string(".")))
+            : SiWorkload::prepare(soc, config);
+    const double prep_seconds = prep_watch.seconds();
+
+    std::cout << "--- N_r = " << n_r << " ---\n";
+    for (const int parts : workload.groupings()) {
+      const SiTestSet& tests = workload.tests(parts);
+      std::cout << "  grouping i=" << parts << ": "
+                << tests.total_patterns() << " compacted SI patterns in "
+                << tests.groups.size() << " groups\n";
+    }
+    std::cout << "  (workload generation + 2-D compaction: " << prep_seconds
+              << " s)\n\n";
+
+    Stopwatch sweep_watch;
+    const SweepResult sweep = run_sweep(workload, widths);
+    std::cout << sweep_caption(sweep) << "\n"
+              << render_paper_table(sweep)
+              << "(TAM optimization for all rows: " << sweep_watch.seconds()
+              << " s)\n\n";
+    if (args.has("csv")) {
+      std::cout << render_paper_table(sweep).csv() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace sitam::bench

@@ -1,0 +1,96 @@
+#include "core/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sitest/io.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+namespace {
+
+std::filesystem::path group_file(const std::string& directory,
+                                 const std::string& key, int parts) {
+  return std::filesystem::path(directory) /
+         (key + "_g" + std::to_string(parts) + ".sitest");
+}
+
+}  // namespace
+
+std::string workload_cache_key(const Soc& soc,
+                               const SiWorkloadConfig& config) {
+  // Hash the generator parameters so any change invalidates the key.
+  std::uint64_t h = config.seed;
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = split_mix64(h);
+  };
+  mix(static_cast<std::uint64_t>(config.pattern_count));
+  mix(static_cast<std::uint64_t>(config.patterns.min_aggressors));
+  mix(static_cast<std::uint64_t>(config.patterns.max_aggressors));
+  mix(static_cast<std::uint64_t>(config.patterns.min_external_aggressors));
+  mix(static_cast<std::uint64_t>(config.patterns.max_external_aggressors));
+  mix(static_cast<std::uint64_t>(config.patterns.locality_window));
+  mix(static_cast<std::uint64_t>(config.patterns.external_core_ring));
+  mix(config.patterns.quiet_neighbors ? 1 : 0);
+  mix(static_cast<std::uint64_t>(config.patterns.bus_width));
+  mix(static_cast<std::uint64_t>(config.patterns.bus_use_probability *
+                                 1e6));
+  // Include the SOC's structure, not just its name.
+  mix(static_cast<std::uint64_t>(soc.total_test_data_volume()));
+  mix(static_cast<std::uint64_t>(soc.total_woc()));
+
+  std::ostringstream os;
+  os << soc.name << "_nr" << config.pattern_count << "_s" << std::hex << h;
+  return os.str();
+}
+
+void save_workload(const SiWorkload& workload, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  const std::string key =
+      workload_cache_key(workload.soc(), workload.config());
+  for (const int parts : workload.groupings()) {
+    const auto path = group_file(directory, key, parts);
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("cache: cannot write " + path.string());
+    }
+    out << test_set_to_text(workload.tests(parts));
+    if (!out) {
+      throw std::runtime_error("cache: write failed for " + path.string());
+    }
+  }
+}
+
+std::optional<SiWorkload> load_workload(const Soc& soc,
+                                        const SiWorkloadConfig& config,
+                                        const std::string& directory) {
+  const std::string key = workload_cache_key(soc, config);
+  std::vector<SiTestSet> test_sets;
+  test_sets.reserve(config.groupings.size());
+  for (const int parts : config.groupings) {
+    const auto path = group_file(directory, key, parts);
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    test_sets.push_back(test_set_from_text(buffer.str()));
+  }
+  SITAM_INFO << "cache hit: " << key << " from " << directory;
+  return SiWorkload::from_prepared(soc, config, std::move(test_sets));
+}
+
+SiWorkload prepare_cached(const Soc& soc, const SiWorkloadConfig& config,
+                          const std::string& directory) {
+  if (auto cached = load_workload(soc, config, directory)) {
+    return std::move(*cached);
+  }
+  SiWorkload workload = SiWorkload::prepare(soc, config);
+  save_workload(workload, directory);
+  return workload;
+}
+
+}  // namespace sitam

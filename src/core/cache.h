@@ -1,0 +1,37 @@
+// Workload cache: persists the compacted SI test sets of a prepared
+// workload to a directory and reloads them on the next run.
+//
+// Generating and two-dimensionally compacting an N_r = 100k workload takes
+// tens of seconds; the resulting SiTestSets are a few hundred bytes. The
+// cache key encodes everything the test sets depend on (SOC name, pattern
+// count, seed, groupings and the generator parameters), so a stale entry
+// can only be hit deliberately.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/flow.h"
+
+namespace sitam {
+
+/// Deterministic cache key (filesystem-safe).
+[[nodiscard]] std::string workload_cache_key(const Soc& soc,
+                                             const SiWorkloadConfig& config);
+
+/// Writes one `.sitest` file per grouping under `directory` (created if
+/// absent). Throws std::runtime_error on I/O failure.
+void save_workload(const SiWorkload& workload, const std::string& directory);
+
+/// Loads a previously saved workload; returns nullopt when any grouping's
+/// file is missing. Throws std::runtime_error on corrupt files.
+[[nodiscard]] std::optional<SiWorkload> load_workload(
+    const Soc& soc, const SiWorkloadConfig& config,
+    const std::string& directory);
+
+/// prepare() with a cache in front: load if present, else prepare + save.
+[[nodiscard]] SiWorkload prepare_cached(const Soc& soc,
+                                        const SiWorkloadConfig& config,
+                                        const std::string& directory);
+
+}  // namespace sitam

@@ -1,0 +1,169 @@
+#include "core/flow.h"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <stdexcept>
+
+#include "pattern/compaction.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+SiWorkload::SiWorkload(Soc soc, SiWorkloadConfig config)
+    : soc_(std::move(soc)), config_(std::move(config)), terminals_(soc_) {}
+
+SiWorkload SiWorkload::prepare(const Soc& soc,
+                               const SiWorkloadConfig& config) {
+  validate(soc);
+  if (config.groupings.empty()) {
+    throw std::invalid_argument("SiWorkload: groupings must not be empty");
+  }
+  for (const int parts : config.groupings) {
+    if (parts < 1) {
+      throw std::invalid_argument("SiWorkload: grouping parts must be >= 1");
+    }
+  }
+  if (config.pattern_count < 0) {
+    throw std::invalid_argument("SiWorkload: negative pattern count");
+  }
+
+  SiWorkload workload(soc, config);
+  Rng rng(config.seed);
+  const std::vector<SiPattern> raw = generate_random_patterns(
+      workload.terminals_, config.pattern_count, config.patterns, rng);
+
+  GroupingConfig grouping = config.grouping;
+  grouping.bus_width = std::max(grouping.bus_width, config.patterns.bus_width);
+  grouping.partition.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  workload.test_sets_.reserve(config.groupings.size());
+  if (config.parallel_prepare && config.groupings.size() > 1) {
+    std::vector<std::future<SiTestSet>> futures;
+    futures.reserve(config.groupings.size());
+    for (const int parts : config.groupings) {
+      futures.push_back(std::async(std::launch::async, [&, parts] {
+        return build_si_test_set(raw, workload.terminals_, parts, grouping);
+      }));
+    }
+    for (auto& future : futures) {
+      workload.test_sets_.push_back(future.get());
+    }
+  } else {
+    for (const int parts : config.groupings) {
+      workload.test_sets_.push_back(
+          build_si_test_set(raw, workload.terminals_, parts, grouping));
+    }
+  }
+  for (std::size_t i = 0; i < workload.test_sets_.size(); ++i) {
+    SITAM_INFO << "workload " << soc.name << " N_r=" << config.pattern_count
+               << " parts=" << config.groupings[i] << ": "
+               << workload.test_sets_[i].total_patterns()
+               << " compacted patterns in "
+               << workload.test_sets_[i].groups.size() << " groups";
+  }
+  return workload;
+}
+
+SiWorkload SiWorkload::from_prepared(const Soc& soc,
+                                     const SiWorkloadConfig& config,
+                                     std::vector<SiTestSet> test_sets) {
+  validate(soc);
+  if (test_sets.size() != config.groupings.size()) {
+    throw std::invalid_argument(
+        "SiWorkload::from_prepared: one test set per grouping required");
+  }
+  for (std::size_t i = 0; i < test_sets.size(); ++i) {
+    if (test_sets[i].parts != config.groupings[i]) {
+      throw std::invalid_argument(
+          "SiWorkload::from_prepared: test set " + std::to_string(i) +
+          " has parts=" + std::to_string(test_sets[i].parts) +
+          ", expected " + std::to_string(config.groupings[i]));
+    }
+  }
+  SiWorkload workload(soc, config);
+  workload.test_sets_ = std::move(test_sets);
+  return workload;
+}
+
+const SiTestSet& SiWorkload::tests(int parts) const {
+  for (std::size_t i = 0; i < config_.groupings.size(); ++i) {
+    if (config_.groupings[i] == parts) return test_sets_[i];
+  }
+  throw std::out_of_range("SiWorkload: grouping " + std::to_string(parts) +
+                          " was not prepared");
+}
+
+double ExperimentOutcome::delta_baseline_pct() const {
+  if (t_baseline == 0) return 0.0;
+  return 100.0 * static_cast<double>(t_baseline - t_min) /
+         static_cast<double>(t_baseline);
+}
+
+double ExperimentOutcome::delta_g_pct() const {
+  if (per_grouping.empty()) return 0.0;
+  const std::int64_t t_g1 = per_grouping.front().evaluation.t_soc;
+  if (t_g1 == 0) return 0.0;
+  return 100.0 * static_cast<double>(t_g1 - t_min) /
+         static_cast<double>(t_g1);
+}
+
+ExperimentOutcome run_experiment(const SiWorkload& workload, int w_max,
+                                 const OptimizerConfig& config) {
+  if (w_max < 1) {
+    throw std::invalid_argument("run_experiment: w_max must be >= 1");
+  }
+  const Soc& soc = workload.soc();
+  const TestTimeTable table(soc, w_max);
+
+  ExperimentOutcome outcome;
+  outcome.w_max = w_max;
+
+  // Baseline T_[8]: one InTest-only TR-Architect run, then the fixed
+  // architecture is scored against every grouping's SI tests; the best
+  // grouping is credited to the baseline (most charitable reading).
+  {
+    static const SiTestSet kNoTests{};
+    const OptimizeResult intest_only =
+        optimize_tam(soc, table, kNoTests, w_max, config);
+    outcome.baseline_architecture = intest_only.architecture;
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const int parts : workload.groupings()) {
+      const TamEvaluator evaluator(soc, table, workload.tests(parts));
+      best = std::min(best,
+                      evaluator.evaluate(outcome.baseline_architecture).t_soc);
+    }
+    outcome.t_baseline = best;
+  }
+
+  // T_g_i: the SI-aware optimizer per grouping.
+  outcome.t_min = std::numeric_limits<std::int64_t>::max();
+  for (const int parts : workload.groupings()) {
+    OptimizeResult result =
+        optimize_tam(soc, table, workload.tests(parts), w_max, config);
+    if (result.evaluation.t_soc < outcome.t_min) {
+      outcome.t_min = result.evaluation.t_soc;
+      outcome.best_grouping = parts;
+    }
+    outcome.per_grouping.push_back(std::move(result));
+  }
+  return outcome;
+}
+
+SweepResult run_sweep(const SiWorkload& workload,
+                      const std::vector<int>& widths,
+                      const OptimizerConfig& config) {
+  SweepResult sweep;
+  sweep.soc_name = workload.soc().name;
+  sweep.pattern_count = workload.raw_pattern_count();
+  sweep.groupings = workload.groupings();
+  for (const int w : widths) {
+    SITAM_INFO << "sweep " << sweep.soc_name << ": W_max=" << w;
+    sweep.rows.push_back(run_experiment(workload, w, config));
+  }
+  return sweep;
+}
+
+}  // namespace sitam

@@ -1,0 +1,104 @@
+// End-to-end experiment flow (the §5 harness).
+//
+// A SiWorkload captures everything that does *not* depend on the TAM width:
+// the random SI pattern set (generated per §5) and, for each grouping
+// parameter i, the two-dimensionally compacted SI test set. run_experiment /
+// run_sweep then optimize TAM architectures per width and produce rows in
+// the exact shape of the paper's Tables 2 and 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interconnect/terminal_space.h"
+#include "pattern/generator.h"
+#include "sitest/group.h"
+#include "soc/soc.h"
+#include "tam/optimizer.h"
+
+namespace sitam {
+
+struct SiWorkloadConfig {
+  std::int64_t pattern_count = 10000;  ///< N_r: raw SI vector pairs.
+  RandomPatternConfig patterns;        ///< §5 generator knobs.
+  std::vector<int> groupings = {1, 2, 4, 8};  ///< i values for T_g_i.
+  GroupingConfig grouping;             ///< Partitioner + bus width.
+  std::uint64_t seed = 0x20070604ULL;  ///< Drives all randomness.
+  /// Compact the groupings on worker threads (results are identical to the
+  /// sequential path — each grouping is an independent deterministic
+  /// computation over the same raw pattern set).
+  bool parallel_prepare = true;
+};
+
+/// Prepared SI workload: raw patterns plus compacted test sets per
+/// grouping parameter.
+class SiWorkload {
+ public:
+  /// Generates and compacts; the SOC is copied in.
+  /// Throws std::invalid_argument on bad config (empty groupings,
+  /// non-positive grouping values, negative pattern count).
+  static SiWorkload prepare(const Soc& soc, const SiWorkloadConfig& config);
+
+  /// Rebuilds a workload from previously-prepared test sets (one per
+  /// grouping, in config order) — the cache path; see core/cache.h.
+  /// Throws std::invalid_argument if the counts mismatch.
+  static SiWorkload from_prepared(const Soc& soc,
+                                  const SiWorkloadConfig& config,
+                                  std::vector<SiTestSet> test_sets);
+
+  [[nodiscard]] const Soc& soc() const { return soc_; }
+  [[nodiscard]] const TerminalSpace& terminals() const { return terminals_; }
+  [[nodiscard]] const SiWorkloadConfig& config() const { return config_; }
+  [[nodiscard]] std::int64_t raw_pattern_count() const {
+    return config_.pattern_count;
+  }
+  [[nodiscard]] const std::vector<int>& groupings() const {
+    return config_.groupings;
+  }
+  /// Compacted SI test set for grouping `parts`; throws std::out_of_range
+  /// if `parts` was not in config().groupings.
+  [[nodiscard]] const SiTestSet& tests(int parts) const;
+
+ private:
+  SiWorkload(Soc soc, SiWorkloadConfig config);
+
+  Soc soc_;
+  SiWorkloadConfig config_;
+  TerminalSpace terminals_;
+  std::vector<SiTestSet> test_sets_;  // parallel to config_.groupings
+};
+
+/// Result of one (SOC, N_r, W_max) cell: the baseline and every grouping.
+struct ExperimentOutcome {
+  int w_max = 0;
+  /// T_[8]: InTest-only TR-Architect architecture, scored against the SI
+  /// tests (best grouping on that fixed architecture).
+  std::int64_t t_baseline = 0;
+  TamArchitecture baseline_architecture;
+  /// T_g_i per grouping (parallel to SiWorkload::groupings()).
+  std::vector<OptimizeResult> per_grouping;
+  std::int64_t t_min = 0;
+  int best_grouping = 0;  ///< The i achieving T_min.
+
+  [[nodiscard]] double delta_baseline_pct() const;  ///< ΔT_[8] in %.
+  [[nodiscard]] double delta_g_pct() const;         ///< ΔT_g in %.
+};
+
+/// Runs the full §5 protocol for one TAM width.
+[[nodiscard]] ExperimentOutcome run_experiment(
+    const SiWorkload& workload, int w_max, const OptimizerConfig& config = {});
+
+struct SweepResult {
+  std::string soc_name;
+  std::int64_t pattern_count = 0;
+  std::vector<int> groupings;
+  std::vector<ExperimentOutcome> rows;  ///< One per width, ascending.
+};
+
+/// Runs run_experiment for every width (the paper uses 8..64 step 8).
+[[nodiscard]] SweepResult run_sweep(const SiWorkload& workload,
+                                    const std::vector<int>& widths,
+                                    const OptimizerConfig& config = {});
+
+}  // namespace sitam

@@ -1,0 +1,141 @@
+#include "core/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sitam {
+
+std::string ascii_si_gantt(const Evaluation& evaluation,
+                           const TamArchitecture& architecture,
+                           const SiTestSet& tests, int chart_width) {
+  if (chart_width < 8) {
+    throw std::invalid_argument("ascii_si_gantt: chart_width must be >= 8");
+  }
+  std::ostringstream os;
+  if (evaluation.schedule.items.empty()) {
+    os << "(no SI tests scheduled)\n";
+    return os.str();
+  }
+  const double scale =
+      static_cast<double>(chart_width) /
+      static_cast<double>(
+          std::max<std::int64_t>(1, evaluation.schedule.makespan));
+  for (std::size_t r = 0; r < architecture.rails.size(); ++r) {
+    std::string row(static_cast<std::size_t>(chart_width), '.');
+    for (const SiScheduleItem& item : evaluation.schedule.items) {
+      if (std::find(item.rails.begin(), item.rails.end(),
+                    static_cast<int>(r)) == item.rails.end()) {
+        continue;
+      }
+      const char mark =
+          tests.groups[static_cast<std::size_t>(item.group)].label.back();
+      const int from = static_cast<int>(static_cast<double>(item.begin) *
+                                        scale);
+      const int to = std::max(
+          from + 1,
+          static_cast<int>(static_cast<double>(item.end) * scale));
+      for (int x = from; x < to && x < chart_width; ++x) {
+        row[static_cast<std::size_t>(x)] = mark;
+      }
+    }
+    os << "TAM" << r + 1 << " (w=" << architecture.rails[r].width << ") |"
+       << row << "|\n";
+  }
+  os << "0 cc" << std::string(static_cast<std::size_t>(chart_width) - 2, ' ')
+     << evaluation.schedule.makespan << " cc\n";
+  return os.str();
+}
+
+namespace {
+
+const char* kPalette[] = {"#4c78a8", "#f58518", "#54a24b", "#e45756",
+                          "#72b7b2", "#eeca3b", "#b279a2", "#9d755d"};
+
+}  // namespace
+
+std::string svg_test_gantt(const Evaluation& evaluation,
+                           const TamArchitecture& architecture,
+                           const SiTestSet& tests) {
+  const int rails = static_cast<int>(architecture.rails.size());
+  const int row_height = 28;
+  const int row_gap = 8;
+  const int left_margin = 90;
+  const int chart_width = 720;
+  const int top_margin = 30;
+  const int height =
+      top_margin + rails * (row_height + row_gap) + 40;
+  const std::int64_t total =
+      std::max<std::int64_t>(1, evaluation.t_in + evaluation.t_si);
+  const double scale = static_cast<double>(chart_width) /
+                       static_cast<double>(total);
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << left_margin + chart_width + 20 << "\" height=\"" << height
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  os << "<text x=\"" << left_margin << "\" y=\"18\">InTest (grey) then SI "
+        "tests (colored), total "
+     << total << " cc</text>\n";
+
+  const auto row_y = [&](int rail) {
+    return top_margin + rail * (row_height + row_gap);
+  };
+
+  for (int r = 0; r < rails; ++r) {
+    os << "<text x=\"4\" y=\"" << row_y(r) + row_height - 9 << "\">TAM"
+       << r + 1 << " w=" << architecture.rails[static_cast<std::size_t>(r)]
+                                .width
+       << "</text>\n";
+  }
+  // InTest: one segment per core in alternating greys.
+  for (std::size_t i = 0; i < evaluation.intest.size(); ++i) {
+    const InTestSlot& slot = evaluation.intest[i];
+    os << "<rect x=\""
+       << static_cast<double>(left_margin) +
+              static_cast<double>(slot.begin) * scale
+       << "\" y=\"" << row_y(slot.rail) << "\" width=\""
+       << std::max(1.0, static_cast<double>(slot.end - slot.begin) * scale)
+       << "\" height=\"" << row_height << "\" fill=\""
+       << (i % 2 == 0 ? "#b8b8b8" : "#d2d2d2") << "\"/>\n";
+  }
+
+  // SI phase starts after t_in.
+  const double si_origin =
+      static_cast<double>(left_margin) +
+      static_cast<double>(evaluation.t_in) * scale;
+  for (const SiScheduleItem& item : evaluation.schedule.items) {
+    const char* color =
+        kPalette[static_cast<std::size_t>(item.group) %
+                 (sizeof kPalette / sizeof kPalette[0])];
+    for (const int rail : item.rails) {
+      os << "<rect x=\""
+         << si_origin + static_cast<double>(item.begin) * scale
+         << "\" y=\"" << row_y(rail) << "\" width=\""
+         << std::max(1.0, static_cast<double>(item.duration) * scale)
+         << "\" height=\"" << row_height << "\" fill=\"" << color
+         << "\" fill-opacity=\"0.85\"/>\n";
+    }
+    // Label on the bottleneck rail.
+    os << "<text x=\""
+       << si_origin + static_cast<double>(item.begin) * scale + 3
+       << "\" y=\"" << row_y(item.bottleneck_rail) + row_height - 9
+       << "\" fill=\"white\">"
+       << tests.groups[static_cast<std::size_t>(item.group)].label
+       << "</text>\n";
+  }
+
+  // Axis.
+  const int axis_y = row_y(rails) + 4;
+  os << "<line x1=\"" << left_margin << "\" y1=\"" << axis_y << "\" x2=\""
+     << left_margin + chart_width << "\" y2=\"" << axis_y
+     << "\" stroke=\"black\"/>\n";
+  os << "<text x=\"" << left_margin << "\" y=\"" << axis_y + 16
+     << "\">0</text>\n";
+  os << "<text x=\"" << left_margin + chart_width - 60 << "\" y=\""
+     << axis_y + 16 << "\">" << total << " cc</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace sitam

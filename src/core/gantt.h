@@ -1,0 +1,28 @@
+// Schedule visualization: ASCII Gantt charts for the terminal and SVG for
+// reports. One row per TestRail; the InTest phase (cores sequential on
+// their rail) is followed by the SI phase (Algorithm 1 schedule, tests
+// spanning multiple rails).
+#pragma once
+
+#include <string>
+
+#include "sitest/group.h"
+#include "tam/evaluator.h"
+
+namespace sitam {
+
+/// Fixed-width ASCII chart of the SI schedule ('.' = idle; each test is
+/// drawn with the last character of its group label). `chart_width` is the
+/// number of character columns (>= 8, throws otherwise).
+[[nodiscard]] std::string ascii_si_gantt(const Evaluation& evaluation,
+                                         const TamArchitecture& architecture,
+                                         const SiTestSet& tests,
+                                         int chart_width = 64);
+
+/// Standalone SVG of the full test session: per-rail InTest bars followed
+/// by the SI test rectangles, with labels and a time axis.
+[[nodiscard]] std::string svg_test_gantt(const Evaluation& evaluation,
+                                         const TamArchitecture& architecture,
+                                         const SiTestSet& tests);
+
+}  // namespace sitam

@@ -1,0 +1,70 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sitam {
+
+SampleStats summarize(std::span<const double> values) {
+  SampleStats stats;
+  stats.samples = static_cast<int>(values.size());
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  stats.min = values.front();
+  stats.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  double variance = 0.0;
+  for (const double v : values) {
+    variance += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = std::sqrt(variance / static_cast<double>(values.size()));
+  return stats;
+}
+
+std::vector<SeedStudyRow> run_seed_study(const Soc& soc,
+                                         const SiWorkloadConfig& base,
+                                         std::span<const std::uint64_t> seeds,
+                                         std::span<const int> widths,
+                                         const OptimizerConfig& config) {
+  if (seeds.empty() || widths.empty()) {
+    throw std::invalid_argument("run_seed_study: empty seeds or widths");
+  }
+
+  // Prepare one workload per seed (the expensive part), then sweep widths.
+  std::vector<SiWorkload> workloads;
+  workloads.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    SiWorkloadConfig config_for_seed = base;
+    config_for_seed.seed = seed;
+    workloads.push_back(SiWorkload::prepare(soc, config_for_seed));
+  }
+
+  std::vector<SeedStudyRow> rows;
+  rows.reserve(widths.size());
+  for (const int w : widths) {
+    std::vector<double> delta_baseline;
+    std::vector<double> delta_g;
+    std::vector<double> t_min;
+    for (const SiWorkload& workload : workloads) {
+      const ExperimentOutcome outcome = run_experiment(workload, w, config);
+      delta_baseline.push_back(outcome.delta_baseline_pct());
+      delta_g.push_back(outcome.delta_g_pct());
+      t_min.push_back(static_cast<double>(outcome.t_min));
+    }
+    SeedStudyRow row;
+    row.w_max = w;
+    row.delta_baseline_pct = summarize(delta_baseline);
+    row.delta_g_pct = summarize(delta_g);
+    row.t_min = summarize(t_min);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sitam

@@ -1,0 +1,42 @@
+// Multi-seed experiment statistics.
+//
+// The §5 workload is random (one draw per table in the paper); this module
+// repeats experiments across seeds and summarizes ΔT_[8] and ΔT_g so the
+// reproduction can show which trends are robust to the draw and which are
+// noise. Used by the seed_sensitivity bench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/flow.h"
+
+namespace sitam {
+
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double min = 0.0;
+  double max = 0.0;
+  int samples = 0;
+};
+
+/// Summary statistics; an empty span yields all-zero stats.
+[[nodiscard]] SampleStats summarize(std::span<const double> values);
+
+struct SeedStudyRow {
+  int w_max = 0;
+  SampleStats delta_baseline_pct;  ///< ΔT_[8] across seeds.
+  SampleStats delta_g_pct;         ///< ΔT_g across seeds.
+  SampleStats t_min;               ///< Best total time across seeds.
+};
+
+/// Runs the full experiment for every (seed, width) pair; `base` provides
+/// everything except the seed. Throws on empty seeds/widths.
+[[nodiscard]] std::vector<SeedStudyRow> run_seed_study(
+    const Soc& soc, const SiWorkloadConfig& base,
+    std::span<const std::uint64_t> seeds, std::span<const int> widths,
+    const OptimizerConfig& config = {});
+
+}  // namespace sitam

@@ -1,0 +1,76 @@
+#include "interconnect/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sitam {
+
+std::vector<int> Topology::neighbors(int victim_net, int k) const {
+  if (victim_net < 0 || victim_net >= static_cast<int>(nets.size())) {
+    throw std::out_of_range("Topology::neighbors: bad net id " +
+                            std::to_string(victim_net));
+  }
+  if (k < 0) throw std::invalid_argument("Topology::neighbors: k < 0");
+  std::vector<int> out;
+  const int lo = std::max(0, victim_net - k);
+  const int hi = std::min(static_cast<int>(nets.size()) - 1, victim_net + k);
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (int i = lo; i <= hi; ++i) {
+    if (i != victim_net) out.push_back(i);
+  }
+  return out;
+}
+
+Topology generate_topology(const TerminalSpace& terminals,
+                           const TopologyConfig& config, Rng& rng) {
+  const int cores = terminals.core_count();
+  if (cores < 2) {
+    throw std::invalid_argument(
+        "generate_topology: need at least 2 cores for core-external nets");
+  }
+  if (config.fanout <= 0 || config.wires_per_link <= 0) {
+    throw std::invalid_argument("generate_topology: bad fanout/wire config");
+  }
+
+  Topology topo;
+  for (int sender = 0; sender < cores; ++sender) {
+    // Each core sends to round(fanout) distinct other cores (at least one).
+    const int links = std::max(
+        1, std::min(cores - 1, static_cast<int>(config.fanout + 0.5)));
+    auto receiver_picks =
+        rng.sample_indices(static_cast<std::size_t>(cores - 1),
+                           static_cast<std::size_t>(links));
+    for (const std::size_t pick : receiver_picks) {
+      // Map [0, cores-1) onto cores != sender.
+      const int receiver =
+          static_cast<int>(pick) + (static_cast<int>(pick) >= sender ? 1 : 0);
+      const int woc = terminals.woc(sender);
+      const int wires = std::min(config.wires_per_link, woc);
+      for (int wire = 0; wire < wires; ++wire) {
+        Net net;
+        net.driver_terminal = terminals.terminal(
+            sender, static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(woc))));
+        net.receiver_core = receiver;
+        topo.nets.push_back(net);
+      }
+    }
+  }
+
+  // Random routing order: coupling neighborhoods cross core boundaries,
+  // which is exactly the "arbitrary SOC interconnect topology" of Fig. 1.
+  rng.shuffle(topo.nets);
+  for (std::size_t i = 0; i < topo.nets.size(); ++i) {
+    topo.nets[i].id = static_cast<int>(i);
+  }
+
+  if (config.with_bus) {
+    Bus bus;
+    bus.width = config.bus_width;
+    for (int c = 0; c < cores; ++c) bus.connected_cores.push_back(c);
+    topo.bus = std::move(bus);
+  }
+  return topo;
+}
+
+}  // namespace sitam

@@ -1,0 +1,62 @@
+// Core-external interconnect topology.
+//
+// The ITC'02 benchmarks carry no functional net-lists (which is why the
+// DAC'07 paper generates random SI patterns), but the MA/MT fault-model
+// generators and the Fig. 1 style demos need an explicit topology: nets
+// (driver terminal -> receiver core) laid out in a routing order, plus an
+// optional shared functional bus. Physical neighborhood is modeled by the
+// routing order: the aggressors of a victim net are the nets within a
+// locality window around it, matching the "locality factor k" of the
+// reduced-MT fault model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "interconnect/terminal_space.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+/// One point-to-point core-external interconnect.
+struct Net {
+  int id = 0;             ///< Index into Topology::nets == routing position.
+  int driver_terminal = 0;  ///< Global WOC terminal id (TerminalSpace).
+  int receiver_core = 0;    ///< 0-based core index of the receiving core.
+};
+
+/// A shared functional bus: every connected core can drive any line.
+struct Bus {
+  int width = 32;
+  std::vector<int> connected_cores;  ///< 0-based core indices.
+};
+
+struct Topology {
+  std::vector<Net> nets;   ///< In routing order; neighbors are SI-coupled.
+  std::optional<Bus> bus;
+
+  /// Nets within the locality window of `victim_net` (±k routing slots,
+  /// excluding the victim itself). Window is clipped at the ends.
+  [[nodiscard]] std::vector<int> neighbors(int victim_net, int k) const;
+};
+
+struct TopologyConfig {
+  /// Average number of cores each core sends data to (out-degree).
+  double fanout = 2.0;
+  /// Every (sender, receiver) pair is connected by this many wires.
+  int wires_per_link = 32;
+  /// Attach a shared bus connecting all cores?
+  bool with_bus = true;
+  int bus_width = 32;
+};
+
+/// Random Fig.1-style topology: each core sends `fanout` links (each
+/// `wires_per_link` nets) to distinct other cores; nets are shuffled into a
+/// random routing order. Deterministic given the Rng state.
+/// Throws std::invalid_argument for SOCs with fewer than 2 cores.
+[[nodiscard]] Topology generate_topology(const TerminalSpace& terminals,
+                                         const TopologyConfig& config,
+                                         Rng& rng);
+
+}  // namespace sitam

@@ -1,0 +1,208 @@
+#include "pattern/bist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace sitam {
+
+namespace {
+
+/// Maximal-length feedback masks (Galois form): taps 8,6,5,4 / 16,15,13,4 /
+/// 24,23,22,17 / 32,22,2,1 — the classic table entries.
+std::uint64_t taps_for_width(int width) {
+  switch (width) {
+    case 8:
+      return 0xB8ULL;
+    case 16:
+      return 0xB400ULL;
+    case 24:
+      return 0xE10000ULL;
+    case 32:
+      return 0x80200003ULL;
+    default:
+      throw std::invalid_argument("Lfsr: unsupported width " +
+                                  std::to_string(width));
+  }
+}
+
+SigValue decode(std::uint64_t two_bits) {
+  switch (two_bits & 3) {
+    case 0:
+      return SigValue::kStable0;
+    case 3:
+      return SigValue::kStable1;
+    case 1:
+      return SigValue::kRise;
+    default:
+      return SigValue::kFall;
+  }
+}
+
+/// Per-core LFSR bank producing one SigValue per terminal per cycle.
+class BistBank {
+ public:
+  BistBank(const TerminalSpace& terminals, std::uint64_t seed)
+      : terminals_(&terminals) {
+    lfsrs_.reserve(static_cast<std::size_t>(terminals.core_count()));
+    for (int core = 0; core < terminals.core_count(); ++core) {
+      // Distinct nonzero seeds per core.
+      std::uint64_t core_seed = seed ^ (0x9e3779b97f4a7c15ULL *
+                                        static_cast<std::uint64_t>(core + 1));
+      if ((core_seed & 0xffffffffULL) == 0) core_seed = 1;
+      lfsrs_.emplace_back(32, core_seed);
+    }
+  }
+
+  /// Values for all terminals of one cycle, indexed by terminal id.
+  void next_cycle(std::vector<SigValue>& values) {
+    values.resize(static_cast<std::size_t>(terminals_->total()));
+    for (int core = 0; core < terminals_->core_count(); ++core) {
+      const int first = terminals_->first_terminal(core);
+      const int woc = terminals_->woc(core);
+      for (int bit = 0; bit < woc; ++bit) {
+        values[static_cast<std::size_t>(first + bit)] =
+            decode(lfsrs_[static_cast<std::size_t>(core)].next_bits(2));
+      }
+    }
+  }
+
+ private:
+  const TerminalSpace* terminals_;
+  std::vector<Lfsr> lfsrs_;
+};
+
+}  // namespace
+
+Lfsr::Lfsr(int width, std::uint64_t seed)
+    : width_(width), taps_(taps_for_width(width)) {
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  state_ = seed & mask;
+  if (state_ == 0) {
+    throw std::invalid_argument("Lfsr: seed must be nonzero in the low " +
+                                std::to_string(width) + " bits");
+  }
+}
+
+bool Lfsr::next_bit() {
+  const bool out = (state_ & 1) != 0;
+  state_ >>= 1;
+  if (out) state_ ^= taps_;
+  return out;
+}
+
+std::uint64_t Lfsr::next_bits(int n) {
+  SITAM_CHECK_MSG(n >= 0 && n <= 64, "Lfsr::next_bits: bad n " << n);
+  std::uint64_t out = 0;
+  for (int i = 0; i < n; ++i) {
+    out |= static_cast<std::uint64_t>(next_bit()) << i;
+  }
+  return out;
+}
+
+Misr::Misr(int width) : width_(width), taps_(taps_for_width(width)) {}
+
+void Misr::absorb(std::uint64_t response_bits) {
+  const std::uint64_t mask =
+      width_ == 64 ? ~0ULL : ((1ULL << width_) - 1);
+  // Galois step, then XOR the parallel response in.
+  const bool out = (state_ & 1) != 0;
+  state_ >>= 1;
+  if (out) state_ ^= taps_;
+  state_ = (state_ ^ response_bits) & mask;
+}
+
+std::vector<SiPattern> generate_bist_patterns(const TerminalSpace& terminals,
+                                              int cycles,
+                                              std::uint64_t seed) {
+  if (cycles < 0) {
+    throw std::invalid_argument("generate_bist_patterns: negative cycles");
+  }
+  BistBank bank(terminals, seed);
+  std::vector<SiPattern> patterns;
+  patterns.reserve(static_cast<std::size_t>(cycles));
+  std::vector<SigValue> values;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    bank.next_cycle(values);
+    SiPattern p;
+    for (int t = 0; t < terminals.total(); ++t) {
+      p.set(t, values[static_cast<std::size_t>(t)]);
+    }
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+std::vector<BistCoveragePoint> bist_ma_coverage_curve(
+    const Topology& topology, const TerminalSpace& terminals, int window,
+    const std::vector<int>& checkpoints, std::uint64_t seed) {
+  std::vector<int> sorted = checkpoints;
+  std::sort(sorted.begin(), sorted.end());
+  for (const int c : sorted) {
+    if (c < 0) {
+      throw std::invalid_argument(
+          "bist_ma_coverage_curve: negative checkpoint");
+    }
+  }
+
+  const auto faults = all_ma_faults(topology);
+  std::vector<bool> covered(faults.size(), false);
+  std::int64_t covered_count = 0;
+
+  // Per-net neighbor terminal lists, precomputed once (the cycle loop is
+  // hot).
+  std::vector<std::vector<int>> neighbor_terminals(topology.nets.size());
+  for (std::size_t net = 0; net < topology.nets.size(); ++net) {
+    const int victim_terminal = topology.nets[net].driver_terminal;
+    for (const int neighbor :
+         topology.neighbors(static_cast<int>(net), window)) {
+      const int t =
+          topology.nets[static_cast<std::size_t>(neighbor)].driver_terminal;
+      if (t != victim_terminal) neighbor_terminals[net].push_back(t);
+    }
+  }
+
+  BistBank bank(terminals, seed);
+  std::vector<SigValue> values;
+  std::vector<BistCoveragePoint> curve;
+  int cycle = 0;
+  for (const int checkpoint : sorted) {
+    for (; cycle < checkpoint; ++cycle) {
+      bank.next_cycle(values);
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (covered[f]) continue;
+        const MaFault& fault = faults[f];
+        const int victim_terminal =
+            topology.nets[static_cast<std::size_t>(fault.net)]
+                .driver_terminal;
+        if (values[static_cast<std::size_t>(victim_terminal)] !=
+            ma_victim_value(fault.type)) {
+          continue;
+        }
+        const SigValue aggressor = ma_aggressor_value(fault.type);
+        bool excited = true;
+        for (const int t :
+             neighbor_terminals[static_cast<std::size_t>(fault.net)]) {
+          if (values[static_cast<std::size_t>(t)] != aggressor) {
+            excited = false;
+            break;
+          }
+        }
+        if (excited) {
+          covered[f] = true;
+          ++covered_count;
+        }
+      }
+    }
+    BistCoveragePoint point;
+    point.cycles = checkpoint;
+    point.coverage.total_faults = static_cast<std::int64_t>(faults.size());
+    point.coverage.covered_faults = covered_count;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace sitam

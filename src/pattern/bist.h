@@ -1,0 +1,91 @@
+// BIST-style hardware pattern generation for interconnect SI test.
+//
+// §2 of the paper: BIST has been the primary SI test method (LI-BIST and
+// friends) — a pseudo-random generator at the driver side of every core
+// launches transitions while ILS cells observe the receivers. The paper
+// argues against it: per-core hardware generators cannot coordinate the
+// arbitrary cross-core coupling neighborhoods of a real SOC floorplan, so
+// they under-test (some fault excitations arrive only after very many
+// cycles, or never within a budget) and over-test (patterns outside the
+// functional space). This module models that alternative: one maximal
+// LFSR per core drives the core's WOCs with two-cycle values, and a
+// streaming coverage evaluator measures MA fault coverage as a function of
+// the cycle budget — reproducing the argument quantitatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interconnect/terminal_space.h"
+#include "interconnect/topology.h"
+#include "pattern/coverage.h"
+#include "pattern/pattern.h"
+
+namespace sitam {
+
+/// Fibonacci LFSR with a maximal-length feedback polynomial for the chosen
+/// width (supported widths: 8, 16, 24, 32; others throw).
+class Lfsr {
+ public:
+  /// `seed` must not be all-zero in the low `width` bits (throws).
+  Lfsr(int width, std::uint64_t seed);
+
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Advances one cycle and returns the output bit.
+  bool next_bit();
+
+  /// Convenience: n output bits packed LSB-first (n <= 64).
+  [[nodiscard]] std::uint64_t next_bits(int n);
+
+  /// Current register state (low `width` bits).
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+
+ private:
+  int width_;
+  std::uint64_t taps_;
+  std::uint64_t state_;
+};
+
+/// One BIST cycle-pair as an SiPattern: every WOC terminal of every core
+/// carries a value decoded from its core's LFSR (2 bits per terminal:
+/// 00 -> stable 0, 11 -> stable 1, 01 -> rise, 10 -> fall). Patterns are
+/// fully specified — hardware generators have no don't-cares, which is
+/// precisely why they cannot be compacted.
+[[nodiscard]] std::vector<SiPattern> generate_bist_patterns(
+    const TerminalSpace& terminals, int cycles, std::uint64_t seed);
+
+/// Multiple-input signature register (MISR) — the response-compaction half
+/// of a BIST pair. Parallel inputs XOR into the Galois LFSR state each
+/// cycle; after the session the signature is compared against the golden
+/// value. Same maximal polynomials as Lfsr.
+class Misr {
+ public:
+  /// Width in {8, 16, 24, 32}; the register starts at all-zero (unlike a
+  /// pattern LFSR, a MISR may pass through zero).
+  explicit Misr(int width);
+
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Absorbs one cycle of parallel response bits (low `width` bits used).
+  void absorb(std::uint64_t response_bits);
+
+  [[nodiscard]] std::uint64_t signature() const { return state_; }
+
+ private:
+  int width_;
+  std::uint64_t taps_;
+  std::uint64_t state_ = 0;
+};
+
+/// MA fault coverage of the BIST sequence after each checkpoint (cycle
+/// counts, ascending). Streaming: memory is O(faults), not O(cycles).
+struct BistCoveragePoint {
+  int cycles = 0;
+  CoverageReport coverage;
+};
+[[nodiscard]] std::vector<BistCoveragePoint> bist_ma_coverage_curve(
+    const Topology& topology, const TerminalSpace& terminals, int window,
+    const std::vector<int>& checkpoints, std::uint64_t seed);
+
+}  // namespace sitam

@@ -1,0 +1,238 @@
+#include "pattern/compaction.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace sitam {
+
+namespace {
+
+/// Dense, epoch-stamped view of one growing compacted pattern. Checking a
+/// sparse candidate against it is O(candidate care bits).
+class Accumulator {
+ public:
+  Accumulator(int total_terminals, int bus_width)
+      : values_(static_cast<std::size_t>(total_terminals)),
+        value_epoch_(static_cast<std::size_t>(total_terminals), 0),
+        bus_driver_(static_cast<std::size_t>(bus_width)),
+        bus_epoch_(static_cast<std::size_t>(bus_width), 0) {}
+
+  /// Starts a fresh compacted pattern (O(1) via epoch bump).
+  void reset() {
+    ++epoch_;
+    touched_terminals_.clear();
+    touched_bus_.clear();
+  }
+
+  [[nodiscard]] bool fits(const SiPattern& p) const {
+    for (const auto& [terminal, value] : p.assignments()) {
+      check_terminal(terminal);
+      const auto t = static_cast<std::size_t>(terminal);
+      if (value_epoch_[t] == epoch_ && values_[t] != value) return false;
+    }
+    for (const BusBit& bit : p.bus_bits()) {
+      check_bus(bit.line);
+      const auto l = static_cast<std::size_t>(bit.line);
+      if (bus_epoch_[l] == epoch_ && bus_driver_[l] != bit.driver_core) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Precondition: fits(p).
+  void absorb(const SiPattern& p) {
+    for (const auto& [terminal, value] : p.assignments()) {
+      const auto t = static_cast<std::size_t>(terminal);
+      if (value_epoch_[t] != epoch_) {
+        value_epoch_[t] = epoch_;
+        values_[t] = value;
+        touched_terminals_.push_back(terminal);
+      }
+    }
+    for (const BusBit& bit : p.bus_bits()) {
+      const auto l = static_cast<std::size_t>(bit.line);
+      if (bus_epoch_[l] != epoch_) {
+        bus_epoch_[l] = epoch_;
+        bus_driver_[l] = bit.driver_core;
+        touched_bus_.push_back(bit.line);
+      }
+    }
+  }
+
+  [[nodiscard]] SiPattern to_pattern() {
+    SiPattern p;
+    std::sort(touched_terminals_.begin(), touched_terminals_.end());
+    for (const int terminal : touched_terminals_) {
+      p.set(terminal, values_[static_cast<std::size_t>(terminal)]);
+    }
+    std::sort(touched_bus_.begin(), touched_bus_.end());
+    for (const int line : touched_bus_) {
+      p.set_bus(line, bus_driver_[static_cast<std::size_t>(line)]);
+    }
+    return p;
+  }
+
+ private:
+  void check_terminal(int terminal) const {
+    if (terminal < 0 || terminal >= static_cast<int>(values_.size())) {
+      throw std::out_of_range("compaction: terminal id " +
+                              std::to_string(terminal) +
+                              " outside declared terminal space");
+    }
+  }
+  void check_bus(int line) const {
+    if (line < 0 || line >= static_cast<int>(bus_driver_.size())) {
+      throw std::out_of_range("compaction: bus line " + std::to_string(line) +
+                              " outside declared bus width");
+    }
+  }
+
+  std::uint32_t epoch_ = 0;
+  std::vector<SigValue> values_;
+  std::vector<std::uint32_t> value_epoch_;
+  std::vector<int> bus_driver_;
+  std::vector<std::uint32_t> bus_epoch_;
+  std::vector<int> touched_terminals_;
+  std::vector<int> touched_bus_;
+};
+
+}  // namespace
+
+CompactionResult compact_greedy(std::span<const SiPattern> patterns,
+                                int total_terminals, int bus_width) {
+  if (total_terminals < 0 || bus_width < 0) {
+    throw std::invalid_argument("compact_greedy: negative dimensions");
+  }
+  Stopwatch watch;
+  CompactionResult result;
+  result.stats.original_count = patterns.size();
+
+  Accumulator acc(total_terminals, bus_width);
+  std::vector<bool> used(patterns.size(), false);
+  std::size_t next_seed = 0;
+  // Each cycle seeds a new compacted pattern with the first uncompacted one
+  // and sweeps all following patterns, merging every compatible one.
+  while (true) {
+    while (next_seed < patterns.size() && used[next_seed]) ++next_seed;
+    if (next_seed == patterns.size()) break;
+    acc.reset();
+    // fits() on an empty accumulator cannot conflict, but it validates the
+    // seed's terminal/bus ranges.
+    SITAM_CHECK(acc.fits(patterns[next_seed]));
+    acc.absorb(patterns[next_seed]);
+    used[next_seed] = true;
+    for (std::size_t j = next_seed + 1; j < patterns.size(); ++j) {
+      if (used[j]) continue;
+      if (acc.fits(patterns[j])) {
+        acc.absorb(patterns[j]);
+        used[j] = true;
+      }
+    }
+    result.patterns.push_back(acc.to_pattern());
+  }
+
+  result.stats.compacted_count = result.patterns.size();
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+CompactionResult compact_first_fit(std::span<const SiPattern> patterns,
+                                   int total_terminals, int bus_width) {
+  if (total_terminals < 0 || bus_width < 0) {
+    throw std::invalid_argument("compact_first_fit: negative dimensions");
+  }
+  Stopwatch watch;
+  CompactionResult result;
+  result.stats.original_count = patterns.size();
+
+  // Welsh-Powell order: densest (hardest to place) patterns first.
+  std::vector<std::size_t> order(patterns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const auto density = [&](std::size_t i) {
+                       return patterns[i].care_count() +
+                              static_cast<int>(patterns[i].bus_bits().size());
+                     };
+                     return density(a) > density(b);
+                   });
+
+  // Classes are kept as merged SiPatterns; a candidate joins the first class
+  // it is compatible with (first-fit coloring of the conflict graph).
+  std::vector<SiPattern> classes;
+  for (const std::size_t index : order) {
+    const SiPattern& p = patterns[index];
+    for (const auto& [terminal, value] : p.assignments()) {
+      (void)value;
+      if (terminal >= total_terminals) {
+        throw std::out_of_range(
+            "compact_first_fit: terminal id " + std::to_string(terminal) +
+            " outside declared terminal space");
+      }
+    }
+    for (const BusBit& bit : p.bus_bits()) {
+      if (bit.line >= bus_width) {
+        throw std::out_of_range("compact_first_fit: bus line " +
+                                std::to_string(bit.line) +
+                                " outside declared bus width");
+      }
+    }
+    bool placed = false;
+    for (SiPattern& cls : classes) {
+      if (cls.try_absorb(p)) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) classes.push_back(p);
+  }
+
+  result.patterns = std::move(classes);
+  result.stats.compacted_count = result.patterns.size();
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+std::ptrdiff_t first_uncovered(std::span<const SiPattern> original,
+                               std::span<const SiPattern> compacted) {
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const SiPattern& p = original[i];
+    bool covered = false;
+    for (const SiPattern& c : compacted) {
+      // p is covered by c iff every assignment and bus bit of p appears in
+      // c with the same value/driver.
+      bool all_in = true;
+      for (const auto& [terminal, value] : p.assignments()) {
+        if (c.at(terminal) != value) {
+          all_in = false;
+          break;
+        }
+      }
+      if (all_in) {
+        for (const BusBit& bit : p.bus_bits()) {
+          const auto bus = c.bus_bits();
+          const auto it = std::lower_bound(
+              bus.begin(), bus.end(), bit.line,
+              [](const BusBit& b, int line) { return b.line < line; });
+          if (it == bus.end() || it->line != bit.line ||
+              it->driver_core != bit.driver_core) {
+            all_in = false;
+            break;
+          }
+        }
+      }
+      if (all_in) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace sitam

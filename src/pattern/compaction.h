@@ -1,0 +1,67 @@
+// Vertical SI test compaction: pattern-count reduction (§3).
+//
+// Finding the minimum compacted set is the NP-complete clique covering
+// problem on the pattern-compatibility graph. Two solvers are provided:
+//
+//  * compact_greedy — the paper's heuristic: take the first uncompacted
+//    pattern and merge every following compatible pattern into it, repeat.
+//    Implemented with a dense accumulator so each compatibility check costs
+//    O(care bits) instead of O(accumulated size); compacting 100k patterns
+//    takes seconds.
+//
+//  * compact_first_fit — a classical clique-cover approximation:
+//    Welsh-Powell-style first-fit coloring of the conflict graph. Patterns
+//    are processed in descending density (care bits + bus bits) and each
+//    goes into the first existing compatible class. Note that *unsorted*
+//    first-fit would be pointwise identical to the greedy sweep (class k of
+//    first-fit is exactly sweep round k), so the density ordering is what
+//    makes this a distinct reference point. Comparable compaction ratios at
+//    substantially higher runtime — exactly the trade-off §3 reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace sitam {
+
+struct CompactionStats {
+  std::size_t original_count = 0;
+  std::size_t compacted_count = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double ratio() const {
+    return compacted_count == 0
+               ? 0.0
+               : static_cast<double>(original_count) /
+                     static_cast<double>(compacted_count);
+  }
+};
+
+struct CompactionResult {
+  std::vector<SiPattern> patterns;
+  CompactionStats stats;
+};
+
+/// Paper's greedy sweep. `total_terminals` and `bus_width` size the dense
+/// accumulator (use TerminalSpace::total() and the bus width; patterns with
+/// ids outside these ranges throw std::out_of_range).
+[[nodiscard]] CompactionResult compact_greedy(
+    std::span<const SiPattern> patterns, int total_terminals, int bus_width);
+
+/// First-fit clique-cover approximation (reference quality bar).
+[[nodiscard]] CompactionResult compact_first_fit(
+    std::span<const SiPattern> patterns, int total_terminals, int bus_width);
+
+/// Verifies that `compacted` is a sound compaction of `original`: every
+/// original pattern must be *covered by* (i.e. compatible with and contained
+/// in) at least one compacted pattern. Returns the index of the first
+/// uncovered original pattern, or -1 if all are covered. Used by tests and
+/// the compaction study bench.
+[[nodiscard]] std::ptrdiff_t first_uncovered(
+    std::span<const SiPattern> original,
+    std::span<const SiPattern> compacted);
+
+}  // namespace sitam

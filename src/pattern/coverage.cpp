@@ -1,0 +1,90 @@
+#include "pattern/coverage.h"
+
+#include <stdexcept>
+
+namespace sitam {
+
+SigValue ma_victim_value(MaFaultType type) noexcept {
+  switch (type) {
+    case MaFaultType::kPositiveGlitch:
+      return SigValue::kStable0;
+    case MaFaultType::kNegativeGlitch:
+      return SigValue::kStable1;
+    case MaFaultType::kRisingDelay:
+    case MaFaultType::kRisingSpeedup:
+      return SigValue::kRise;
+    case MaFaultType::kFallingDelay:
+    case MaFaultType::kFallingSpeedup:
+      return SigValue::kFall;
+  }
+  return SigValue::kDontCare;
+}
+
+SigValue ma_aggressor_value(MaFaultType type) noexcept {
+  switch (type) {
+    case MaFaultType::kPositiveGlitch:
+    case MaFaultType::kFallingDelay:
+    case MaFaultType::kRisingSpeedup:
+      return SigValue::kRise;
+    case MaFaultType::kNegativeGlitch:
+    case MaFaultType::kRisingDelay:
+    case MaFaultType::kFallingSpeedup:
+      return SigValue::kFall;
+  }
+  return SigValue::kDontCare;
+}
+
+std::vector<MaFault> all_ma_faults(const Topology& topology) {
+  static constexpr MaFaultType kTypes[] = {
+      MaFaultType::kPositiveGlitch, MaFaultType::kNegativeGlitch,
+      MaFaultType::kRisingDelay,    MaFaultType::kFallingDelay,
+      MaFaultType::kRisingSpeedup,  MaFaultType::kFallingSpeedup,
+  };
+  std::vector<MaFault> faults;
+  faults.reserve(topology.nets.size() * 6);
+  for (const Net& net : topology.nets) {
+    for (const MaFaultType type : kTypes) {
+      faults.push_back(MaFault{net.id, type});
+    }
+  }
+  return faults;
+}
+
+bool excites(const SiPattern& pattern, const Topology& topology,
+             const MaFault& fault, int window) {
+  if (fault.net < 0 ||
+      fault.net >= static_cast<int>(topology.nets.size())) {
+    throw std::out_of_range("excites: bad net id " +
+                            std::to_string(fault.net));
+  }
+  const int victim_terminal =
+      topology.nets[static_cast<std::size_t>(fault.net)].driver_terminal;
+  if (pattern.at(victim_terminal) != ma_victim_value(fault.type)) {
+    return false;
+  }
+  const SigValue aggressor = ma_aggressor_value(fault.type);
+  for (const int neighbor : topology.neighbors(fault.net, window)) {
+    const int terminal =
+        topology.nets[static_cast<std::size_t>(neighbor)].driver_terminal;
+    if (terminal == victim_terminal) continue;  // shared driver terminal
+    if (pattern.at(terminal) != aggressor) return false;
+  }
+  return true;
+}
+
+CoverageReport ma_fault_coverage(std::span<const SiPattern> patterns,
+                                 const Topology& topology, int window) {
+  CoverageReport report;
+  for (const MaFault& fault : all_ma_faults(topology)) {
+    ++report.total_faults;
+    for (const SiPattern& pattern : patterns) {
+      if (excites(pattern, topology, fault, window)) {
+        ++report.covered_faults;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sitam

@@ -1,0 +1,70 @@
+// Maximal-aggressor (MA) fault coverage accounting.
+//
+// The MA model [Cuviello et al., ICCAD'99] defines six fault conditions per
+// victim net; a vector pair detects one iff the victim carries the fault's
+// victim behaviour while *every* neighbor in the coupling window makes the
+// fault's aggressor transition. This module enumerates the fault list for a
+// topology and scores pattern sets against it — which lets the test suite
+// prove that compaction never loses coverage (merged patterns only gain
+// assignments).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "interconnect/topology.h"
+#include "pattern/pattern.h"
+
+namespace sitam {
+
+enum class MaFaultType : std::uint8_t {
+  kPositiveGlitch,   // victim 0, aggressors rise
+  kNegativeGlitch,   // victim 1, aggressors fall
+  kRisingDelay,      // victim rise, aggressors fall
+  kFallingDelay,     // victim fall, aggressors rise
+  kRisingSpeedup,    // victim rise, aggressors rise
+  kFallingSpeedup,   // victim fall, aggressors fall
+};
+
+/// Victim value required to excite `type`.
+[[nodiscard]] SigValue ma_victim_value(MaFaultType type) noexcept;
+/// Aggressor transition required to excite `type`.
+[[nodiscard]] SigValue ma_aggressor_value(MaFaultType type) noexcept;
+
+struct MaFault {
+  int net = 0;  ///< Victim net id in the topology.
+  MaFaultType type = MaFaultType::kPositiveGlitch;
+
+  friend bool operator==(const MaFault&, const MaFault&) = default;
+};
+
+/// The complete MA fault list: 6 faults per net.
+[[nodiscard]] std::vector<MaFault> all_ma_faults(const Topology& topology);
+
+/// True iff `pattern` excites `fault`: victim value matches and every
+/// neighbor within ±`window` routing slots carries the aggressor value.
+/// Nets sharing the victim's driver terminal are skipped (they cannot be
+/// driven independently).
+[[nodiscard]] bool excites(const SiPattern& pattern,
+                           const Topology& topology, const MaFault& fault,
+                           int window);
+
+struct CoverageReport {
+  std::int64_t total_faults = 0;
+  std::int64_t covered_faults = 0;
+
+  [[nodiscard]] double percent() const {
+    return total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(covered_faults) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+/// Scores a pattern set against the full MA fault list.
+[[nodiscard]] CoverageReport ma_fault_coverage(
+    std::span<const SiPattern> patterns, const Topology& topology,
+    int window);
+
+}  // namespace sitam

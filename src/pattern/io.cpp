@@ -1,0 +1,194 @@
+#include "pattern/io.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace sitam {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+}
+
+std::int64_t parse_int(std::string_view token, int line) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail(line, "expected integer, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split_ws(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\r')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\t' &&
+           text[end] != '\r') {
+      ++end;
+    }
+    if (end > pos) tokens.push_back(text.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+/// "key=value" accessor over a header token list.
+std::int64_t header_value(const std::vector<std::string_view>& tokens,
+                          std::string_view key, int line) {
+  for (const std::string_view token : tokens) {
+    const auto eq = token.find('=');
+    if (eq != std::string_view::npos && token.substr(0, eq) == key) {
+      return parse_int(token.substr(eq + 1), line);
+    }
+  }
+  fail(line, "missing header field '" + std::string(key) + "'");
+}
+
+char value_code(SigValue value) {
+  switch (value) {
+    case SigValue::kStable0:
+      return '0';
+    case SigValue::kStable1:
+      return '1';
+    case SigValue::kRise:
+      return 'r';
+    case SigValue::kFall:
+      return 'f';
+    case SigValue::kDontCare:
+      break;
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string patterns_to_text(std::span<const SiPattern> patterns,
+                             int total_terminals, int bus_width) {
+  std::ostringstream os;
+  os << "SiPatterns terminals=" << total_terminals << " bus=" << bus_width
+     << " count=" << patterns.size() << "\n";
+  for (const SiPattern& p : patterns) {
+    if (p.empty()) {
+      os << "-\n";  // fully-don't-care pattern (blank lines are skipped)
+      continue;
+    }
+    bool first = true;
+    for (const auto& [terminal, value] : p.assignments()) {
+      if (!first) os << ' ';
+      first = false;
+      const char code = value_code(value);
+      if (code == '0' || code == '1') {
+        os << terminal << ':' << code;
+      } else {
+        os << terminal << code;
+      }
+    }
+    if (!p.bus_bits().empty()) {
+      os << (first ? "|" : " |");
+      for (const BusBit& bit : p.bus_bits()) {
+        os << ' ' << bit.line << '@' << bit.driver_core;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ParsedPatterns patterns_from_text(std::string_view text) {
+  ParsedPatterns result;
+  int line_no = 0;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  std::size_t expected = 0;
+
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    if (!saw_header) {
+      if (tokens[0] != "SiPatterns") fail(line_no, "missing SiPatterns header");
+      result.total_terminals =
+          static_cast<int>(header_value(tokens, "terminals", line_no));
+      result.bus_width =
+          static_cast<int>(header_value(tokens, "bus", line_no));
+      expected =
+          static_cast<std::size_t>(header_value(tokens, "count", line_no));
+      saw_header = true;
+      continue;
+    }
+
+    SiPattern p;
+    bool in_bus = false;
+    for (const std::string_view token : tokens) {
+      if (token == "-") continue;  // empty-pattern marker
+      if (token == "|") {
+        in_bus = true;
+        continue;
+      }
+      if (in_bus) {
+        const auto at = token.find('@');
+        if (at == std::string_view::npos) {
+          fail(line_no, "bus bit without '@': '" + std::string(token) + "'");
+        }
+        p.set_bus(static_cast<int>(parse_int(token.substr(0, at), line_no)),
+                  static_cast<int>(parse_int(token.substr(at + 1), line_no)));
+        continue;
+      }
+      // "<terminal>r", "<terminal>f", "<terminal>:0" or "<terminal>:1".
+      SigValue value = SigValue::kDontCare;
+      std::string_view number = token;
+      if (token.size() >= 2 && token[token.size() - 2] == ':') {
+        const char code = token.back();
+        value = code == '0' ? SigValue::kStable0
+                : code == '1'
+                    ? SigValue::kStable1
+                    : SigValue::kDontCare;
+        if (value == SigValue::kDontCare) {
+          fail(line_no, "bad stable code in '" + std::string(token) + "'");
+        }
+        number = token.substr(0, token.size() - 2);
+      } else if (!token.empty() && token.back() == 'r') {
+        value = SigValue::kRise;
+        number = token.substr(0, token.size() - 1);
+      } else if (!token.empty() && token.back() == 'f') {
+        value = SigValue::kFall;
+        number = token.substr(0, token.size() - 1);
+      } else {
+        fail(line_no, "bad assignment token '" + std::string(token) + "'");
+      }
+      const int terminal = static_cast<int>(parse_int(number, line_no));
+      if (terminal < 0 || terminal >= result.total_terminals) {
+        fail(line_no, "terminal " + std::to_string(terminal) +
+                          " outside declared space");
+      }
+      p.set(terminal, value);
+    }
+    result.patterns.push_back(std::move(p));
+  }
+
+  if (!saw_header) fail(1, "empty pattern file");
+  if (result.patterns.size() != expected) {
+    fail(line_no, "header declared " + std::to_string(expected) +
+                      " patterns but found " +
+                      std::to_string(result.patterns.size()));
+  }
+  return result;
+}
+
+}  // namespace sitam

@@ -1,0 +1,44 @@
+// Text serialization for SI pattern sets and compacted SI test sets.
+//
+// Lets users persist expensive artifacts (a 100k-pattern compaction run
+// takes tens of seconds) and hand test sets between tools. The format is
+// line-oriented and diff-friendly:
+//
+//   SiPatterns terminals=<N> bus=<W> count=<K>
+//   <assignments> [| <bus bits>]          # one line per pattern
+//
+// where an assignment is "<terminal><code>" with code 0/1/r/f and a bus
+// bit is "<line>@<driver core>", e.g.:
+//
+//   3r 7f 12:0 | 2@5 9@5
+//
+// ('0'/'1' need a separator from the terminal number, so stable values are
+// written "<terminal>:0" / "<terminal>:1".)
+//
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace sitam {
+
+/// Serializes a pattern set (see format above).
+[[nodiscard]] std::string patterns_to_text(std::span<const SiPattern> patterns,
+                                           int total_terminals,
+                                           int bus_width);
+
+struct ParsedPatterns {
+  std::vector<SiPattern> patterns;
+  int total_terminals = 0;
+  int bus_width = 0;
+};
+
+/// Parses a pattern set; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] ParsedPatterns patterns_from_text(std::string_view text);
+
+}  // namespace sitam

@@ -1,0 +1,53 @@
+// The 5-valued SI test pattern alphabet of Table 1.
+//
+// Each core output terminal in a test vector *pair* is either a don't-care,
+// held stable at 0/1 across the two consecutive cycles, or makes a positive
+// (rise) / negative (fall) transition.
+#pragma once
+
+#include <cstdint>
+
+namespace sitam {
+
+enum class SigValue : std::uint8_t {
+  kDontCare = 0,  ///< 'x' — terminal not involved in this pattern.
+  kStable0,       ///< '0' — stays low over both cycles.
+  kStable1,       ///< '1' — stays high over both cycles.
+  kRise,          ///< '↑' — positive transition.
+  kFall,          ///< '↓' — negative transition.
+};
+
+/// True iff the two values can coexist on one terminal in a compacted
+/// pattern (one is don't-care, or they are identical).
+[[nodiscard]] constexpr bool compatible(SigValue a, SigValue b) noexcept {
+  return a == SigValue::kDontCare || b == SigValue::kDontCare || a == b;
+}
+
+/// Intersection of two compatible values (the non-don't-care one).
+[[nodiscard]] constexpr SigValue merge(SigValue a, SigValue b) noexcept {
+  return a == SigValue::kDontCare ? b : a;
+}
+
+/// ASCII rendering used by the Table 1 printer: x 0 1 ^ v.
+[[nodiscard]] constexpr char to_char(SigValue v) noexcept {
+  switch (v) {
+    case SigValue::kDontCare:
+      return 'x';
+    case SigValue::kStable0:
+      return '0';
+    case SigValue::kStable1:
+      return '1';
+    case SigValue::kRise:
+      return '^';
+    case SigValue::kFall:
+      return 'v';
+  }
+  return '?';
+}
+
+/// True for the two transition values.
+[[nodiscard]] constexpr bool is_transition(SigValue v) noexcept {
+  return v == SigValue::kRise || v == SigValue::kFall;
+}
+
+}  // namespace sitam

@@ -1,0 +1,79 @@
+// Two-dimensional SI test-set compaction: grouping (horizontal) on top of
+// pattern-count compaction (vertical), per §3 of the paper.
+//
+// Cores are partitioned into `parts` groups by min-cut hypergraph
+// partitioning (vertex = core, weight = WOC count; hyperedge = distinct
+// care-core set, weight = pattern multiplicity). Patterns whose care cores
+// all fall in one group are applied with a shortened length (only that
+// group's WOCs are loaded; all other core boundaries are bypassed); the rest
+// form a *remainder* group that still loads every core's WOCs. Each group is
+// then compacted independently with the greedy clique-cover heuristic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hypergraph/partition.h"
+#include "interconnect/terminal_space.h"
+#include "pattern/compaction.h"
+#include "pattern/pattern.h"
+
+namespace sitam {
+
+/// One schedulable SI test (a group of compacted patterns).
+struct SiTestGroup {
+  std::string label;          ///< "g1", "g2", ..., "rem".
+  std::vector<int> cores;     ///< Sorted 0-based core indices whose WOCs are
+                              ///< loaded by every pattern of this group.
+  std::int64_t patterns = 0;  ///< Compacted pattern count.
+  std::int64_t raw_patterns = 0;  ///< Pattern count before compaction.
+  bool is_remainder = false;
+  /// Peak test power while this group applies patterns (arbitrary units;
+  /// 0 = not modelled). See assign_si_power().
+  std::int64_t power = 0;
+  /// True iff any pattern of this group occupies shared-bus lines; with
+  /// EvaluatorOptions::exclusive_bus the bus becomes a scheduling resource
+  /// (at most one bus-using SI test at a time).
+  bool uses_bus = false;
+};
+
+struct SiTestSet {
+  int parts = 1;                    ///< Grouping parameter i of the paper.
+  std::vector<SiTestGroup> groups;  ///< Non-empty groups only.
+
+  [[nodiscard]] std::int64_t total_patterns() const;
+  [[nodiscard]] std::int64_t total_raw_patterns() const;
+};
+
+struct GroupingConfig {
+  PartitionConfig partition;  ///< Partitioner knobs (seeded, deterministic).
+  int bus_width = 32;         ///< Bus postfix width (accumulator sizing).
+};
+
+/// Builds the core-level hypergraph of §3/Fig. 2 from a raw pattern set.
+[[nodiscard]] Hypergraph build_core_hypergraph(
+    std::span<const SiPattern> patterns, const TerminalSpace& terminals);
+
+/// Assigns every group a peak-power rating:
+///   power = base_units + units_per_cell * Σ boundary cells of its cores.
+/// The per-cell term models boundary switching; `base_units` models the
+/// fixed cost of an active test session (clock tree, ATE channel drivers),
+/// which is what makes concurrent sessions compete for the budget even
+/// when their cores are disjoint. Used by the power-constrained scheduling
+/// extension.
+void assign_si_power(SiTestSet& set, const Soc& soc,
+                     std::int64_t units_per_cell = 1,
+                     std::int64_t base_units = 0);
+
+/// Full two-dimensional compaction: partitions cores into `parts` groups,
+/// buckets the patterns, and vertically compacts each bucket. parts == 1
+/// degenerates to pure one-dimensional (count-only) compaction with a single
+/// group spanning all cores. Throws std::invalid_argument for parts < 1.
+[[nodiscard]] SiTestSet build_si_test_set(std::span<const SiPattern> patterns,
+                                          const TerminalSpace& terminals,
+                                          int parts,
+                                          const GroupingConfig& config);
+
+}  // namespace sitam

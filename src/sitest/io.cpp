@@ -1,0 +1,159 @@
+#include "sitest/io.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sitam {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + message);
+}
+
+std::int64_t parse_int(std::string_view token, int line) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail(line, "expected integer, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split_ws(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\r')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\t' &&
+           text[end] != '\r') {
+      ++end;
+    }
+    if (end > pos) tokens.push_back(text.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+std::int64_t header_value(const std::vector<std::string_view>& tokens,
+                          std::string_view key, int line) {
+  for (const std::string_view token : tokens) {
+    const auto eq = token.find('=');
+    if (eq != std::string_view::npos && token.substr(0, eq) == key) {
+      return parse_int(token.substr(eq + 1), line);
+    }
+  }
+  fail(line, "missing header field '" + std::string(key) + "'");
+}
+
+std::int64_t optional_header_value(
+    const std::vector<std::string_view>& tokens, std::string_view key,
+    std::int64_t fallback, int line) {
+  for (const std::string_view token : tokens) {
+    const auto eq = token.find('=');
+    if (eq != std::string_view::npos && token.substr(0, eq) == key) {
+      return parse_int(token.substr(eq + 1), line);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::string test_set_to_text(const SiTestSet& set) {
+  std::ostringstream os;
+  os << "SiTestSet parts=" << set.parts << " groups=" << set.groups.size()
+     << "\n";
+  for (const SiTestGroup& g : set.groups) {
+    os << "group " << g.label << " remainder=" << (g.is_remainder ? 1 : 0)
+       << " patterns=" << g.patterns << " raw=" << g.raw_patterns
+       << " power=" << g.power << " bus=" << (g.uses_bus ? 1 : 0)
+       << " cores=";
+    for (std::size_t i = 0; i < g.cores.size(); ++i) {
+      if (i != 0) os << ',';
+      os << g.cores[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+SiTestSet test_set_from_text(std::string_view text) {
+  SiTestSet set;
+  int line_no = 0;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  std::size_t expected = 0;
+
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    if (!saw_header) {
+      if (tokens[0] != "SiTestSet") fail(line_no, "missing SiTestSet header");
+      set.parts = static_cast<int>(header_value(tokens, "parts", line_no));
+      expected =
+          static_cast<std::size_t>(header_value(tokens, "groups", line_no));
+      saw_header = true;
+      continue;
+    }
+
+    if (tokens[0] != "group" || tokens.size() < 2) {
+      fail(line_no, "expected 'group <label> ...'");
+    }
+    SiTestGroup group;
+    group.label = std::string(tokens[1]);
+    group.is_remainder =
+        header_value(tokens, "remainder", line_no) != 0;
+    group.patterns = header_value(tokens, "patterns", line_no);
+    group.raw_patterns = header_value(tokens, "raw", line_no);
+    group.power = header_value(tokens, "power", line_no);
+    group.uses_bus =
+        optional_header_value(tokens, "bus", 0, line_no) != 0;
+    // cores=...
+    bool saw_cores = false;
+    for (const std::string_view token : tokens) {
+      if (token.rfind("cores=", 0) != 0) continue;
+      saw_cores = true;
+      std::string_view list = token.substr(6);
+      while (!list.empty()) {
+        const auto comma = list.find(',');
+        const std::string_view item =
+            list.substr(0, comma == std::string_view::npos
+                               ? std::string_view::npos
+                               : comma);
+        if (!item.empty()) {
+          group.cores.push_back(static_cast<int>(parse_int(item, line_no)));
+        }
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+    }
+    if (!saw_cores) fail(line_no, "group without cores= field");
+    set.groups.push_back(std::move(group));
+  }
+
+  if (!saw_header) fail(1, "empty test set file");
+  if (set.groups.size() != expected) {
+    fail(line_no, "header declared " + std::to_string(expected) +
+                      " groups but found " +
+                      std::to_string(set.groups.size()));
+  }
+  return set;
+}
+
+}  // namespace sitam

@@ -1,0 +1,23 @@
+// Text serialization for compacted SI test sets.
+//
+// Format (line-oriented, diff-friendly):
+//
+//   SiTestSet parts=<i> groups=<K>
+//   group <label> remainder=<0|1> patterns=<p> raw=<r> power=<w> cores=<c,c,...>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sitest/group.h"
+
+namespace sitam {
+
+/// Serializes a compacted SI test set.
+[[nodiscard]] std::string test_set_to_text(const SiTestSet& set);
+
+/// Parses a test set; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] SiTestSet test_set_from_text(std::string_view text);
+
+}  // namespace sitam

@@ -1,0 +1,778 @@
+#include "soc/benchmarks.h"
+
+#include <stdexcept>
+
+#include "soc/parser.h"
+
+namespace sitam {
+
+namespace {
+
+// Approximate reconstruction of the academic d695 SOC (ten ISCAS cores).
+// Per-core numbers follow the published ITC'02 benchmark description; a few
+// scan-chain partitions are approximated where the exact split is not
+// documented.
+constexpr const char* kD695 = R"(Soc d695
+
+Module 1 c6288
+  Inputs 32
+  Outputs 32
+  Patterns 12
+End
+
+Module 2 c7552
+  Inputs 207
+  Outputs 108
+  Patterns 73
+End
+
+Module 3 s838
+  Inputs 35
+  Outputs 2
+  ScanChains 1x32
+  Patterns 75
+End
+
+Module 4 s9234
+  Inputs 36
+  Outputs 39
+  ScanChains 4x57
+  Patterns 105
+End
+
+Module 5 s38584
+  Inputs 38
+  Outputs 304
+  ScanChains 30x45 2x38
+  Patterns 110
+End
+
+Module 6 s13207
+  Inputs 62
+  Outputs 152
+  ScanChains 15x40 1x38
+  Patterns 234
+End
+
+Module 7 s15850
+  Inputs 77
+  Outputs 150
+  ScanChains 15x34 1x24
+  Patterns 95
+End
+
+Module 8 s5378
+  Inputs 35
+  Outputs 49
+  ScanChains 4x45
+  Patterns 97
+End
+
+Module 9 s35932
+  Inputs 35
+  Outputs 320
+  ScanChains 32x54
+  Patterns 12
+End
+
+Module 10 s38417
+  Inputs 28
+  Outputs 106
+  ScanChains 32x51
+  Patterns 68
+End
+)";
+
+// Synthetic 19-module SOC calibrated against the published p34392
+// TR-Architect results: one dominant core (module 18) whose minimum test
+// time creates the characteristic plateau for W >= 32, plus a long tail of
+// small logic blocks. See DESIGN.md §3.
+constexpr const char* kP34392 = R"(Soc p34392
+
+Module 1 blk1
+  Inputs 66
+  Outputs 78
+  Patterns 650
+End
+
+Module 2 blk2
+  Inputs 165
+  Outputs 263
+  ScanChains 12x190 12x205
+  Patterns 170
+End
+
+Module 3 blk3
+  Inputs 136
+  Outputs 55
+  ScanChains 1x92
+  Patterns 1600
+End
+
+Module 4 blk4
+  Inputs 29
+  Outputs 26
+  ScanChains 2x54 2x60
+  Patterns 900
+End
+
+Module 5 blk5
+  Inputs 20
+  Outputs 108
+  ScanChains 112 124
+  Patterns 900
+End
+
+Module 6 blk6
+  Inputs 36
+  Outputs 65
+  ScanChains 3x90 3x110
+  Patterns 1100
+End
+
+Module 7 blk7
+  Inputs 62
+  Outputs 152
+  ScanChains 4x70 4x90
+  Patterns 590
+End
+
+Module 8 blk8
+  Inputs 119
+  Outputs 68
+  ScanChains 2x120 2x140
+  Patterns 900
+End
+
+Module 9 blk9
+  Inputs 188
+  Outputs 104
+  ScanChains 6x150 6x170
+  Patterns 420
+End
+
+Module 10 blk10
+  Inputs 234
+  Outputs 185
+  ScanChains 8x120
+  Patterns 235
+End
+
+Module 11 blk11
+  Inputs 84
+  Outputs 36
+  ScanChains 60 64
+  Patterns 295
+End
+
+Module 12 blk12
+  Inputs 36
+  Outputs 39
+  ScanChains 2x50 2x56
+  Patterns 1100
+End
+
+Module 13 blk13
+  Inputs 77
+  Outputs 150
+  ScanChains 4x95 4x115
+  Patterns 320
+End
+
+Module 14 blk14
+  Inputs 35
+  Outputs 49
+  ScanChains 4x46
+  Patterns 1100
+End
+
+Module 15 blk15
+  Inputs 42
+  Outputs 75
+  ScanChains 3x66 3x78
+  Patterns 800
+End
+
+Module 16 blk16
+  Inputs 214
+  Outputs 228
+  ScanChains 7x130 7x160
+  Patterns 280
+End
+
+Module 17 blk17
+  Inputs 38
+  Outputs 32
+  ScanChains 1x128
+  Patterns 730
+End
+
+Module 18 blk18
+  Inputs 173
+  Outputs 173
+  ScanChains 570 565 560 555 550 545 540 535 530 525 520 515 510 505 500
+  Patterns 930
+End
+
+Module 19 blk19
+  Inputs 108
+  Outputs 146
+  ScanChains 4x88 4x108
+  Patterns 495
+End
+)";
+
+// Synthetic 32-module SOC calibrated against the published p93791
+// TR-Architect results (~29M bit total serial test volume, no single
+// dominant core, scales smoothly up to W = 64). See DESIGN.md §3.
+constexpr const char* kP93791 = R"(Soc p93791
+
+Module 1 core1
+  Inputs 109
+  Outputs 32
+  Bidirs 72
+  ScanChains 46x168
+  Patterns 409
+End
+
+Module 2 core2
+  Inputs 31
+  Outputs 23
+  Patterns 190
+End
+
+Module 3 core3
+  Inputs 38
+  Outputs 25
+  ScanChains 2x80
+  Patterns 216
+End
+
+Module 4 core4
+  Inputs 40
+  Outputs 23
+  ScanChains 2x92
+  Patterns 86
+End
+
+Module 5 core5
+  Inputs 116
+  Outputs 29
+  ScanChains 4x140
+  Patterns 178
+End
+
+Module 6 core6
+  Inputs 417
+  Outputs 324
+  Bidirs 72
+  ScanChains 23x490 23x500
+  Patterns 218
+End
+
+Module 7 core7
+  Inputs 54
+  Outputs 38
+  ScanChains 4x120
+  Patterns 150
+End
+
+Module 8 core8
+  Inputs 36
+  Outputs 21
+  ScanChains 2x88
+  Patterns 125
+End
+
+Module 9 core9
+  Inputs 44
+  Outputs 35
+  ScanChains 3x105
+  Patterns 140
+End
+
+Module 10 core10
+  Inputs 48
+  Outputs 64
+  ScanChains 4x92
+  Patterns 132
+End
+
+Module 11 core11
+  Inputs 146
+  Outputs 68
+  Bidirs 72
+  ScanChains 11x82 6x80
+  Patterns 2120
+End
+
+Module 12 core12
+  Inputs 42
+  Outputs 24
+  ScanChains 2x76
+  Patterns 112
+End
+
+Module 13 core13
+  Inputs 214
+  Outputs 68
+  ScanChains 12x260
+  Patterns 270
+End
+
+Module 14 core14
+  Inputs 58
+  Outputs 31
+  ScanChains 4x84
+  Patterns 118
+End
+
+Module 15 core15
+  Inputs 48
+  Outputs 83
+  ScanChains 4x110
+  Patterns 126
+End
+
+Module 16 core16
+  Inputs 36
+  Outputs 26
+  ScanChains 2x95
+  Patterns 160
+End
+
+Module 17 core17
+  Inputs 180
+  Outputs 136
+  ScanChains 18x310
+  Patterns 460
+End
+
+Module 18 core18
+  Inputs 42
+  Outputs 28
+  ScanChains 3x90
+  Patterns 105
+End
+
+Module 19 core19
+  Inputs 52
+  Outputs 44
+  ScanChains 4x100
+  Patterns 135
+End
+
+Module 20 core20
+  Inputs 136
+  Outputs 12
+  Bidirs 72
+  ScanChains 44x181
+  Patterns 290
+End
+
+Module 21 core21
+  Inputs 34
+  Outputs 22
+  ScanChains 2x70
+  Patterns 120
+End
+
+Module 22 core22
+  Inputs 66
+  Outputs 50
+  ScanChains 5x115
+  Patterns 145
+End
+
+Module 23 core23
+  Inputs 174
+  Outputs 81
+  Bidirs 72
+  ScanChains 23x395 23x405
+  Patterns 202
+End
+
+Module 24 core24
+  Inputs 38
+  Outputs 29
+  ScanChains 2x85
+  Patterns 110
+End
+
+Module 25 core25
+  Inputs 94
+  Outputs 88
+  ScanChains 8x150
+  Patterns 325
+End
+
+Module 26 core26
+  Inputs 40
+  Outputs 32
+  ScanChains 3x95
+  Patterns 128
+End
+
+Module 27 core27
+  Inputs 30
+  Outputs 7
+  Bidirs 72
+  ScanChains 23x425 23x435
+  Patterns 119
+End
+
+Module 28 core28
+  Inputs 44
+  Outputs 38
+  ScanChains 3x100
+  Patterns 135
+End
+
+Module 29 core29
+  Inputs 82
+  Outputs 66
+  ScanChains 6x130
+  Patterns 240
+End
+
+Module 30 core30
+  Inputs 36
+  Outputs 23
+  ScanChains 2x78
+  Patterns 115
+End
+
+Module 31 core31
+  Inputs 140
+  Outputs 102
+  ScanChains 12x230
+  Patterns 330
+End
+
+Module 32 core32
+  Inputs 46
+  Outputs 39
+  ScanChains 3x112
+  Patterns 148
+End
+)";
+
+// Stylized 28-module SOC in the magnitude class of ITC'02's p22810
+// (~7.3M bit serial InTest volume, a handful of mid-size cores, long tail
+// of small blocks). Not cell-by-cell calibrated; see DESIGN.md §3.
+constexpr const char* kP22810 = R"(Soc p22810
+
+Module 1 ac1
+  Inputs 140
+  Outputs 120
+  ScanChains 12x210
+  Patterns 572
+End
+
+Module 2 ac2
+  Inputs 100
+  Outputs 180
+  ScanChains 10x180
+  Patterns 640
+End
+
+Module 3 ac3
+  Inputs 160
+  Outputs 90
+  ScanChains 8x240
+  Patterns 555
+End
+
+Module 4 bm4
+  Inputs 58
+  Outputs 58
+  ScanChains 6x88
+  Patterns 402
+End
+
+Module 5 bm5
+  Inputs 119
+  Outputs 88
+  ScanChains 6x132
+  Patterns 535
+End
+
+Module 6 bm6
+  Inputs 104
+  Outputs 46
+  ScanChains 2x78
+  Patterns 333
+End
+
+Module 7 bm7
+  Inputs 76
+  Outputs 106
+  ScanChains 4x112
+  Patterns 515
+End
+
+Module 8 bm8
+  Inputs 55
+  Outputs 102
+  ScanChains 6x111
+  Patterns 473
+End
+
+Module 9 bm9
+  Inputs 103
+  Outputs 97
+  ScanChains 6x71
+  Patterns 475
+End
+
+Module 10 bm10
+  Inputs 39
+  Outputs 109
+  ScanChains 5x115
+  Patterns 535
+End
+
+Module 11 bm11
+  Inputs 62
+  Outputs 105
+  ScanChains 4x137
+  Patterns 379
+End
+
+Module 12 bm12
+  Inputs 73
+  Outputs 87
+  ScanChains 5x91
+  Patterns 316
+End
+
+Module 13 bm13
+  Inputs 56
+  Outputs 41
+  ScanChains 2x102
+  Patterns 325
+End
+
+Module 14 sc14
+  Inputs 45
+  Outputs 31
+  Patterns 256
+End
+
+Module 15 sc15
+  Inputs 22
+  Outputs 12
+  ScanChains 53
+  Patterns 85
+End
+
+Module 16 sc16
+  Inputs 18
+  Outputs 50
+  Patterns 151
+End
+
+Module 17 sc17
+  Inputs 17
+  Outputs 30
+  Patterns 133
+End
+
+Module 18 sc18
+  Inputs 18
+  Outputs 20
+  ScanChains 37
+  Patterns 178
+End
+
+Module 19 sc19
+  Inputs 28
+  Outputs 30
+  ScanChains 2x46
+  Patterns 106
+End
+
+Module 20 sc20
+  Inputs 54
+  Outputs 53
+  Patterns 170
+End
+
+Module 21 sc21
+  Inputs 18
+  Outputs 51
+  ScanChains 80
+  Patterns 144
+End
+
+Module 22 sc22
+  Inputs 32
+  Outputs 16
+  ScanChains 79
+  Patterns 256
+End
+
+Module 23 sc23
+  Inputs 32
+  Outputs 24
+  ScanChains 72
+  Patterns 262
+End
+
+Module 24 sc24
+  Inputs 46
+  Outputs 29
+  ScanChains 2x78
+  Patterns 257
+End
+
+Module 25 sc25
+  Inputs 44
+  Outputs 43
+  ScanChains 2x38
+  Patterns 117
+End
+
+Module 26 sc26
+  Inputs 57
+  Outputs 49
+  ScanChains 42
+  Patterns 173
+End
+
+Module 27 sc27
+  Inputs 57
+  Outputs 22
+  Patterns 186
+End
+
+Module 28 sc28
+  Inputs 41
+  Outputs 38
+  Patterns 161
+End
+)";
+
+// Stylized 7-module SOC in the class of ITC'02's a586710: three enormous
+// scan cores dominate (~450M bit volume total) — a stress test for the
+// time tables and the optimizer on very unbalanced instances.
+constexpr const char* kA586710 = R"(Soc a586710
+
+Module 1 g1
+  Inputs 90
+  Outputs 110
+  ScanChains 24x420
+  Patterns 17000
+End
+
+Module 2 g2
+  Inputs 120
+  Outputs 80
+  ScanChains 22x380
+  Patterns 18000
+End
+
+Module 3 g3
+  Inputs 70
+  Outputs 60
+  ScanChains 18x500
+  Patterns 13000
+End
+
+Module 4 m4
+  Inputs 150
+  Outputs 140
+  ScanChains 10x160
+  Patterns 2800
+End
+
+Module 5 m5
+  Inputs 60
+  Outputs 70
+  ScanChains 6x120
+  Patterns 4200
+End
+
+Module 6 s6
+  Inputs 40
+  Outputs 50
+  ScanChains 3x90
+  Patterns 3500
+End
+
+Module 7 s7
+  Inputs 30
+  Outputs 30
+  Patterns 8000
+End
+)";
+
+// Tiny 5-core SOC in the spirit of the paper's Fig. 3 example. Small enough
+// that unit tests can enumerate schedules exhaustively.
+constexpr const char* kMini5 = R"(Soc mini5
+
+Module 1 alpha
+  Inputs 8
+  Outputs 10
+  ScanChains 2x20
+  Patterns 40
+End
+
+Module 2 beta
+  Inputs 6
+  Outputs 8
+  ScanChains 1x30
+  Patterns 25
+End
+
+Module 3 gamma
+  Inputs 12
+  Outputs 12
+  ScanChains 3x16
+  Patterns 30
+End
+
+Module 4 delta
+  Inputs 10
+  Outputs 14
+  ScanChains 2x24
+  Patterns 35
+End
+
+Module 5 epsilon
+  Inputs 4
+  Outputs 6
+  Patterns 50
+End
+)";
+
+struct NamedBenchmark {
+  const char* name;
+  const char* text;
+};
+
+constexpr NamedBenchmark kBenchmarks[] = {
+    {"d695", kD695},
+    {"p34392", kP34392},
+    {"p93791", kP93791},
+    {"p22810", kP22810},
+    {"a586710", kA586710},
+    {"mini5", kMini5},
+};
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& b : kBenchmarks) names.emplace_back(b.name);
+  return names;
+}
+
+Soc load_benchmark(const std::string& name) {
+  for (const auto& b : kBenchmarks) {
+    if (name == b.name) return parse_soc(b.text);
+  }
+  throw std::out_of_range("unknown benchmark SOC: " + name);
+}
+
+}  // namespace sitam

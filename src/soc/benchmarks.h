@@ -1,0 +1,32 @@
+// Embedded ITC'02-style benchmark SOCs.
+//
+// The DAC'07 paper evaluates on the ITC'02 SOC test benchmarks p34392 and
+// p93791. The original `.soc` files are not redistributable inside this
+// repository, so we embed reconstructions (see DESIGN.md §3):
+//
+//  * "d695"   — close reconstruction of the well-documented academic SOC
+//               (10 ISCAS-85/89 cores); used mainly by tests and examples.
+//  * "p34392" — synthetic 19-module SOC calibrated so TR-Architect InTest
+//               times match the published magnitudes (dominated by one large
+//               core, time plateau for W >= 32).
+//  * "p93791" — synthetic 32-module SOC calibrated against the published
+//               TR-Architect numbers (scales smoothly up to W = 64).
+//  * "mini5"  — tiny 5-core SOC matching the structure of the paper's
+//               Fig. 3 example; fast unit-test fodder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/soc.h"
+
+namespace sitam {
+
+/// Names of all embedded benchmarks, in a stable order.
+[[nodiscard]] std::vector<std::string> benchmark_names();
+
+/// Loads an embedded benchmark by name; throws std::out_of_range for an
+/// unknown name. The returned SOC always passes validate().
+[[nodiscard]] Soc load_benchmark(const std::string& name);
+
+}  // namespace sitam

@@ -1,0 +1,237 @@
+#include "soc/itc02.h"
+
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/log.h"
+
+namespace sitam {
+
+namespace {
+
+struct Token {
+  std::string_view text;
+  int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("itc02 line " + std::to_string(line) + ": " +
+                           message);
+}
+
+/// Whole-file tokenizer: whitespace-separated words, '#' comments, a ':'
+/// is its own token (the ScanChains separator).
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const char ch = text[pos];
+    if (ch == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      ++pos;
+      continue;
+    }
+    if (ch == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    if (ch == ':') {
+      tokens.push_back(Token{text.substr(pos, 1), line});
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\t' &&
+           text[end] != '\r' && text[end] != '\n' && text[end] != '#' &&
+           text[end] != ':') {
+      ++end;
+    }
+    tokens.push_back(Token{text.substr(pos, end - pos), line});
+    pos = end;
+  }
+  return tokens;
+}
+
+bool is_integer(std::string_view text) {
+  if (text.empty()) return false;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : tokens_(tokenize(text)) {}
+
+  Soc run() {
+    Soc soc;
+    std::optional<Module> current;
+    int current_level = -1;
+    int declared_modules = -1;
+    // Per-test accumulation: TamUse decides whether TestPatterns count as
+    // externally-applied patterns (shifted over the TAM — scan or
+    // combinational) or as at-speed BIST cycles that need no TAM bandwidth.
+    std::int64_t pending_patterns = 0;
+    bool pending_tam_use = true;
+
+    const auto flush_test = [&] {
+      if (!current || pending_patterns == 0) return;
+      if (pending_tam_use) {
+        current->patterns += pending_patterns;
+      } else {
+        current->bist_patterns += pending_patterns;
+      }
+      pending_patterns = 0;
+      pending_tam_use = true;
+    };
+
+    const auto finish_module = [&] {
+      flush_test();
+      if (!current) return;
+      // Drop the SOC top (level 0) and terminal-less blocks.
+      if (current_level != 0 && current->boundary_cells() > 0) {
+        soc.modules.push_back(std::move(*current));
+      } else {
+        SITAM_DEBUG << "itc02: dropping module " << current->id
+                    << " (level " << current_level << ", "
+                    << current->boundary_cells() << " terminals)";
+      }
+      current.reset();
+      current_level = -1;
+    };
+
+    const auto require_module = [&](int line, std::string_view directive) {
+      if (!current) {
+        fail(line, std::string(directive) + " outside of a Module block");
+      }
+    };
+
+    while (!done()) {
+      const Token token = next();
+      const std::string_view word = token.text;
+      if (word == "SocName") {
+        soc.name = std::string(expect_word("SOC name"));
+      } else if (word == "TotalModules") {
+        declared_modules = expect_int("module count");
+      } else if (word == "Module") {
+        finish_module();
+        Module m;
+        m.id = expect_int("module id") + 1;  // our ids are 1-based
+        m.name = "module" + std::to_string(m.id - 1);
+        current = std::move(m);
+        current_level = -1;
+      } else if (word == "Level") {
+        require_module(token.line, word);
+        current_level = expect_int("level");
+      } else if (word == "Inputs") {
+        require_module(token.line, word);
+        current->inputs = expect_int("inputs");
+      } else if (word == "Outputs") {
+        require_module(token.line, word);
+        current->outputs = expect_int("outputs");
+      } else if (word == "Bidirs") {
+        require_module(token.line, word);
+        current->bidirs = expect_int("bidirs");
+      } else if (word == "ScanChains") {
+        require_module(token.line, word);
+        const int count = expect_int("scan chain count");
+        // Optional ": l1 l2 ... lk".
+        if (!done() && peek().text == ":") {
+          (void)next();
+          for (int i = 0; i < count; ++i) {
+            current->scan_chains.push_back(expect_int("scan chain length"));
+          }
+        } else if (count != 0) {
+          fail(token.line, "ScanChains count without ':' length list");
+        }
+      } else if (word == "Test") {
+        require_module(token.line, word);
+        flush_test();
+        (void)expect_int("test index");
+      } else if (word == "TotalTests" || word == "TestOrder") {
+        (void)expect_int("test count");
+      } else if (word == "TestPatterns") {
+        require_module(token.line, word);
+        pending_patterns += expect_int("pattern count");
+      } else if (word == "TamUse") {
+        require_module(token.line, word);
+        pending_tam_use = expect_word("yes/no") != "no";
+      } else if (word == "ScanUse") {
+        (void)expect_word("yes/no");
+      } else {
+        // Tolerate informational fields: skip the word and any immediate
+        // integer arguments.
+        SITAM_DEBUG << "itc02: skipping directive '" << word << "'";
+        while (!done() && is_integer(peek().text)) (void)next();
+      }
+    }
+    finish_module();
+
+    if (soc.name.empty()) fail(1, "missing SocName");
+    if (soc.modules.empty()) fail(1, "no wrapped modules found");
+    if (declared_modules >= 0) {
+      SITAM_DEBUG << "itc02: " << soc.name << " declared "
+                  << declared_modules << " modules, kept "
+                  << soc.modules.size() << " wrapped cores";
+    }
+    validate(soc);
+    return soc;
+  }
+
+ private:
+  [[nodiscard]] bool done() const { return index_ >= tokens_.size(); }
+  [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
+  const Token& next() { return tokens_[index_++]; }
+
+  std::string_view expect_word(const char* what) {
+    if (done()) fail(last_line(), std::string("expected ") + what);
+    return next().text;
+  }
+
+  int expect_int(const char* what) {
+    if (done()) fail(last_line(), std::string("expected ") + what);
+    const Token token = next();
+    int value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        token.text.data(), token.text.data() + token.text.size(), value);
+    if (ec != std::errc{} ||
+        ptr != token.text.data() + token.text.size()) {
+      fail(token.line, std::string("expected integer for ") + what +
+                           ", got '" + std::string(token.text) + "'");
+    }
+    return value;
+  }
+
+  [[nodiscard]] int last_line() const {
+    return tokens_.empty() ? 1 : tokens_.back().line;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Soc parse_itc02(std::string_view text) {
+  Parser parser(text);
+  return parser.run();
+}
+
+Soc load_itc02_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open ITC'02 file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_itc02(buffer.str());
+}
+
+}  // namespace sitam

@@ -1,0 +1,43 @@
+// Compatibility parser for the original ITC'02 SOC Test Benchmark format.
+//
+// Users who have the official `.soc` files (p93791.soc, p22810.soc, ...)
+// can load them directly; the hierarchy is flattened to the wrapped-core
+// list this library works with (the paper does the same: "we do not
+// consider hierarchy"). The dialect accepted here follows the published
+// benchmark descriptions:
+//
+//   SocName <name>
+//   TotalModules <n>
+//   Module <id>
+//     Level <l>                  # 0 = SOC top-level
+//     Inputs <n>  Outputs <n>  Bidirs <n>
+//     ScanChains <k> [: <len1> ... <lenk>]
+//     TotalTests <t>             # optional
+//     Test <i>                   # or "Test <i>:"
+//       TamUse <yes|no>  ScanUse <yes|no>
+//       TestPatterns <p>
+//
+// Directives may share lines; '#' starts a comment. Unknown directives are
+// skipped with a warning rather than rejected (the official files carry
+// several informational fields). Conversion rules (documented choices):
+//  * Module 0 / Level 0 (the SOC top) is dropped — it has no wrapper.
+//  * A module's pattern count is the sum of its tests' TestPatterns (all
+//    test sets must be applied).
+//  * Modules without terminals are dropped (nothing to wrap).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "soc/soc.h"
+
+namespace sitam {
+
+/// Parses ITC'02 text into a flat Soc; throws std::runtime_error with a
+/// line number on structural errors. The result passes validate().
+[[nodiscard]] Soc parse_itc02(std::string_view text);
+
+/// Reads and parses an ITC'02 `.soc` file.
+[[nodiscard]] Soc load_itc02_file(const std::string& path);
+
+}  // namespace sitam

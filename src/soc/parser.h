@@ -1,0 +1,50 @@
+// Parser for the sitam `.soc` format, a line-oriented dialect of the ITC'02
+// SOC test benchmark format.
+//
+// Grammar (one directive per line, '#' starts a comment, blank lines ok):
+//
+//   Soc <name>
+//   Module <id> [<name>]
+//     Inputs <n>
+//     Outputs <n>
+//     Bidirs <n>
+//     ScanChains <spec>...     # spec is either "L" or "NxL" (N chains of
+//                              # length L); directive may repeat / be absent
+//     Patterns <n>
+//   End
+//   ... more modules ...
+//
+// Unknown directives raise errors (fail fast beats silent misparse for
+// benchmark data).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "soc/soc.h"
+
+namespace sitam {
+
+/// Parses a SOC description from text. Throws SocParseError (derived from
+/// std::runtime_error) with a line number on any syntax or semantic problem;
+/// the result always passes validate().
+[[nodiscard]] Soc parse_soc(std::string_view text);
+
+/// Reads and parses a `.soc` file; throws std::runtime_error when the file
+/// cannot be read.
+[[nodiscard]] Soc load_soc_file(const std::string& path);
+
+class SocParseError : public std::runtime_error {
+ public:
+  SocParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+}  // namespace sitam

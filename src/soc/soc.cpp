@@ -1,0 +1,85 @@
+#include "soc/soc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sitam {
+
+std::int64_t Module::scan_flops() const {
+  return std::accumulate(scan_chains.begin(), scan_chains.end(),
+                         std::int64_t{0});
+}
+
+int Module::max_scan_chain() const {
+  if (scan_chains.empty()) return 0;
+  return *std::max_element(scan_chains.begin(), scan_chains.end());
+}
+
+const Module& Soc::module_by_id(int id) const {
+  for (const Module& m : modules) {
+    if (m.id == id) return m;
+  }
+  throw std::out_of_range("Soc '" + name + "' has no module with id " +
+                          std::to_string(id));
+}
+
+std::int64_t Soc::total_woc() const {
+  std::int64_t sum = 0;
+  for (const Module& m : modules) sum += m.woc();
+  return sum;
+}
+
+std::int64_t Soc::total_wic() const {
+  std::int64_t sum = 0;
+  for (const Module& m : modules) sum += m.wic();
+  return sum;
+}
+
+std::int64_t Soc::total_test_data_volume() const {
+  std::int64_t sum = 0;
+  for (const Module& m : modules) sum += m.test_data_volume();
+  return sum;
+}
+
+void validate(const Soc& soc) {
+  if (soc.name.empty()) {
+    throw std::invalid_argument("SOC name must not be empty");
+  }
+  if (soc.modules.empty()) {
+    throw std::invalid_argument("SOC '" + soc.name + "' has no modules");
+  }
+  std::unordered_set<int> ids;
+  for (const Module& m : soc.modules) {
+    const std::string where =
+        "module " + std::to_string(m.id) + " ('" + m.name + "')";
+    if (m.id <= 0) {
+      throw std::invalid_argument(where + ": id must be positive");
+    }
+    if (!ids.insert(m.id).second) {
+      throw std::invalid_argument(where + ": duplicate id");
+    }
+    if (m.name.empty()) {
+      throw std::invalid_argument(where + ": name must not be empty");
+    }
+    if (m.inputs < 0 || m.outputs < 0 || m.bidirs < 0) {
+      throw std::invalid_argument(where + ": negative terminal count");
+    }
+    if (m.boundary_cells() == 0) {
+      throw std::invalid_argument(where + ": module has no terminals");
+    }
+    if (m.patterns < 0 || m.bist_patterns < 0) {
+      throw std::invalid_argument(where + ": negative pattern count");
+    }
+    for (const int len : m.scan_chains) {
+      if (len <= 0) {
+        throw std::invalid_argument(where + ": scan chain length " +
+                                    std::to_string(len) +
+                                    " must be positive");
+      }
+    }
+  }
+}
+
+}  // namespace sitam

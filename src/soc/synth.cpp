@@ -1,0 +1,77 @@
+#include "soc/synth.h"
+
+#include <stdexcept>
+
+namespace sitam {
+
+namespace {
+
+int draw(Rng& rng, int lo, int hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("generate_soc: inverted range [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
+  return static_cast<int>(rng.uniform(static_cast<std::uint64_t>(lo),
+                                      static_cast<std::uint64_t>(hi)));
+}
+
+}  // namespace
+
+Soc generate_soc(const SynthSocConfig& config, Rng& rng) {
+  if (config.cores <= 0) {
+    throw std::invalid_argument("generate_soc: cores must be positive");
+  }
+  if (config.large_fraction < 0.0 || config.large_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_soc: large_fraction outside [0, 1]");
+  }
+
+  Soc soc;
+  soc.name = config.name;
+  const int large_count = static_cast<int>(
+      config.large_fraction * config.cores + 0.5);
+
+  for (int id = 1; id <= config.cores; ++id) {
+    Module m;
+    m.id = id;
+    m.inputs = draw(rng, config.terminals_min, config.terminals_max);
+    m.outputs = draw(rng, config.terminals_min, config.terminals_max);
+
+    if (id <= large_count) {
+      m.name = "big" + std::to_string(id);
+      const int chains =
+          draw(rng, config.large_chains_min, config.large_chains_max);
+      for (int c = 0; c < chains; ++c) {
+        m.scan_chains.push_back(
+            draw(rng, config.large_length_min, config.large_length_max));
+      }
+      m.patterns =
+          draw(rng, config.large_patterns_min, config.large_patterns_max);
+    } else if (id <= large_count + (config.cores - large_count) / 2) {
+      m.name = "mid" + std::to_string(id);
+      const int chains =
+          draw(rng, config.mid_chains_min, config.mid_chains_max);
+      for (int c = 0; c < chains; ++c) {
+        m.scan_chains.push_back(
+            draw(rng, config.mid_length_min, config.mid_length_max));
+      }
+      m.patterns =
+          draw(rng, config.mid_patterns_min, config.mid_patterns_max);
+    } else {
+      m.name = "small" + std::to_string(id);
+      // Small blocks: combinational or a single short chain.
+      if (rng.chance(0.5)) {
+        m.scan_chains.push_back(
+            draw(rng, config.mid_length_min, config.mid_length_max) / 2 + 1);
+      }
+      m.patterns =
+          draw(rng, config.small_patterns_min, config.small_patterns_max);
+    }
+    soc.modules.push_back(std::move(m));
+  }
+  validate(soc);
+  return soc;
+}
+
+}  // namespace sitam

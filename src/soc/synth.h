@@ -1,0 +1,51 @@
+// Parameterized random SOC generator.
+//
+// Produces ITC'02-style SOCs with a controllable size profile: a few large
+// scan-heavy cores, a body of mid-size cores and a tail of small/
+// combinational blocks — the shape shared by the industrial ITC'02
+// benchmarks. Used by property tests, scaling studies and as a starting
+// point for users modelling their own designs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "soc/soc.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+struct SynthSocConfig {
+  std::string name = "synth";
+  int cores = 16;
+  /// Fraction of cores that are large (scan-heavy); the rest split evenly
+  /// between mid-size scanned cores and small/combinational blocks.
+  double large_fraction = 0.2;
+  /// Scan-chain count ranges per class.
+  int large_chains_min = 16;
+  int large_chains_max = 46;
+  int mid_chains_min = 2;
+  int mid_chains_max = 12;
+  /// Scan-chain length ranges per class.
+  int large_length_min = 150;
+  int large_length_max = 520;
+  int mid_length_min = 40;
+  int mid_length_max = 160;
+  /// Terminal count range (inputs and outputs drawn independently).
+  int terminals_min = 16;
+  int terminals_max = 220;
+  /// InTest pattern count ranges.
+  int large_patterns_min = 150;
+  int large_patterns_max = 500;
+  int mid_patterns_min = 80;
+  int mid_patterns_max = 300;
+  int small_patterns_min = 20;
+  int small_patterns_max = 120;
+};
+
+/// Generates a SOC; the result always passes validate(). Deterministic for
+/// a given Rng state. Throws std::invalid_argument for non-positive core
+/// counts or inverted ranges.
+[[nodiscard]] Soc generate_soc(const SynthSocConfig& config, Rng& rng);
+
+}  // namespace sitam

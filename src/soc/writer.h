@@ -1,0 +1,17 @@
+// Serializer for the sitam `.soc` format; the inverse of parse_soc().
+#pragma once
+
+#include <string>
+
+#include "soc/soc.h"
+
+namespace sitam {
+
+/// Renders the SOC in the `.soc` format; parse_soc(soc_to_text(s)) == s.
+/// Runs of equal-length scan chains are emitted with the compact NxL syntax.
+[[nodiscard]] std::string soc_to_text(const Soc& soc);
+
+/// Writes the SOC to a file; throws std::runtime_error if it cannot write.
+void save_soc_file(const Soc& soc, const std::string& path);
+
+}  // namespace sitam

@@ -1,0 +1,168 @@
+#include "tam/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+namespace {
+
+/// Round-robin start: min(w_max, cores) rails, cores dealt in order, wires
+/// spread as evenly as possible.
+TamArchitecture round_robin_start(int cores, int w_max) {
+  const int rails = std::min(cores, w_max);
+  TamArchitecture arch;
+  arch.rails.resize(static_cast<std::size_t>(rails));
+  for (int c = 0; c < cores; ++c) {
+    arch.rails[static_cast<std::size_t>(c % rails)].cores.push_back(c);
+  }
+  for (int r = 0; r < rails; ++r) {
+    arch.rails[static_cast<std::size_t>(r)].width =
+        w_max / rails + (r < w_max % rails ? 1 : 0);
+  }
+  return arch;
+}
+
+void insert_core(std::vector<int>& cores, int core) {
+  cores.insert(std::lower_bound(cores.begin(), cores.end(), core), core);
+}
+
+/// Applies one random mutation; returns false if the drawn move was not
+/// applicable to the current architecture (caller just retries).
+bool mutate(TamArchitecture& arch, Rng& rng) {
+  const auto rail_count = arch.rails.size();
+  switch (rng.below(4)) {
+    case 0: {  // move one core to another rail
+      if (rail_count < 2) return false;
+      const auto from = static_cast<std::size_t>(rng.below(rail_count));
+      if (arch.rails[from].cores.size() < 2) return false;
+      auto to = static_cast<std::size_t>(rng.below(rail_count - 1));
+      if (to >= from) ++to;
+      auto& src = arch.rails[from].cores;
+      const auto pick = static_cast<std::size_t>(rng.below(src.size()));
+      const int core = src[pick];
+      src.erase(src.begin() + static_cast<std::ptrdiff_t>(pick));
+      insert_core(arch.rails[to].cores, core);
+      return true;
+    }
+    case 1: {  // move one wire to another rail
+      if (rail_count < 2) return false;
+      const auto from = static_cast<std::size_t>(rng.below(rail_count));
+      if (arch.rails[from].width < 2) return false;
+      auto to = static_cast<std::size_t>(rng.below(rail_count - 1));
+      if (to >= from) ++to;
+      --arch.rails[from].width;
+      ++arch.rails[to].width;
+      return true;
+    }
+    case 2: {  // split a rail
+      const auto target = static_cast<std::size_t>(rng.below(rail_count));
+      TestRail& rail = arch.rails[target];
+      if (rail.width < 2 || rail.cores.size() < 2) return false;
+      TestRail fresh;
+      const int moved_wires = 1 + static_cast<int>(rng.below(
+                                      static_cast<std::uint64_t>(
+                                          rail.width - 1)));
+      fresh.width = moved_wires;
+      rail.width -= moved_wires;
+      // Move a random nonempty proper subset of cores.
+      const auto moved_cores =
+          1 + rng.below(rail.cores.size() - 1);
+      for (std::uint64_t i = 0; i < moved_cores; ++i) {
+        const auto pick =
+            static_cast<std::size_t>(rng.below(rail.cores.size()));
+        insert_core(fresh.cores, rail.cores[pick]);
+        rail.cores.erase(rail.cores.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+      }
+      arch.rails.push_back(std::move(fresh));
+      return true;
+    }
+    default: {  // merge two rails
+      if (rail_count < 2) return false;
+      const auto a = static_cast<std::size_t>(rng.below(rail_count));
+      auto b = static_cast<std::size_t>(rng.below(rail_count - 1));
+      if (b >= a) ++b;
+      TestRail merged;
+      merged.width = arch.rails[a].width + arch.rails[b].width;
+      std::merge(arch.rails[a].cores.begin(), arch.rails[a].cores.end(),
+                 arch.rails[b].cores.begin(), arch.rails[b].cores.end(),
+                 std::back_inserter(merged.cores));
+      const auto hi = std::max(a, b);
+      const auto lo = std::min(a, b);
+      arch.rails.erase(arch.rails.begin() + static_cast<std::ptrdiff_t>(hi));
+      arch.rails.erase(arch.rails.begin() + static_cast<std::ptrdiff_t>(lo));
+      arch.rails.push_back(std::move(merged));
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+OptimizeResult optimize_tam_annealing(const Soc& soc,
+                                      const TestTimeTable& table,
+                                      const SiTestSet& tests, int w_max,
+                                      const AnnealingConfig& config) {
+  if (w_max < 1) {
+    throw std::invalid_argument(
+        "optimize_tam_annealing: w_max must be >= 1");
+  }
+  if (soc.core_count() == 0) {
+    throw std::invalid_argument("optimize_tam_annealing: SOC has no cores");
+  }
+
+  const TamEvaluator evaluator(soc, table, tests, config.evaluator);
+  Rng rng(config.seed);
+
+  TamArchitecture current;
+  if (config.warm_start) {
+    OptimizerConfig alg2;
+    alg2.evaluator = config.evaluator;
+    current = optimize_tam(soc, table, tests, w_max, alg2).architecture;
+  } else {
+    current = round_robin_start(soc.core_count(), w_max);
+  }
+  std::int64_t current_t = evaluator.evaluate(current).t_soc;
+
+  TamArchitecture best = current;
+  std::int64_t best_t = current_t;
+
+  const double t0 =
+      std::max(1.0, config.initial_temperature_fraction *
+                        static_cast<double>(current_t));
+  const double t_end = std::max(1e-6, t0 * config.final_temperature_fraction);
+  const int iterations = std::max(1, config.iterations);
+  const double alpha =
+      std::pow(t_end / t0, 1.0 / static_cast<double>(iterations));
+
+  double temperature = t0;
+  for (int i = 0; i < iterations; ++i, temperature *= alpha) {
+    TamArchitecture candidate = current;
+    if (!mutate(candidate, rng)) continue;
+    const std::int64_t candidate_t = evaluator.evaluate(candidate).t_soc;
+    const std::int64_t delta = candidate_t - current_t;
+    if (delta <= 0 ||
+        rng.unit() < std::exp(-static_cast<double>(delta) / temperature)) {
+      current = std::move(candidate);
+      current_t = candidate_t;
+      if (current_t < best_t) {
+        best = current;
+        best_t = current_t;
+      }
+    }
+  }
+
+  SITAM_CHECK(best.total_width() == w_max);
+  best.validate(soc.core_count());
+  OptimizeResult result;
+  result.evaluation = evaluator.evaluate(best);
+  result.architecture = std::move(best);
+  return result;
+}
+
+}  // namespace sitam

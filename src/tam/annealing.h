@@ -1,0 +1,41 @@
+// Simulated-annealing TAM optimizer — an alternative to Algorithm 2.
+//
+// Explores the TestRail design space with four move types (move a core,
+// move a wire, split a rail, merge two rails) under a geometric cooling
+// schedule, scoring candidates with the same TamEvaluator (so the
+// comparison with TAM_Optimization isolates the search strategy). The
+// paper's deterministic constructive heuristic is fast; annealing trades
+// runtime for occasional escapes from its local optima — the
+// annealing_vs_alg2 bench quantifies that trade.
+#pragma once
+
+#include <cstdint>
+
+#include "sitest/group.h"
+#include "soc/soc.h"
+#include "tam/evaluator.h"
+#include "tam/optimizer.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+
+struct AnnealingConfig {
+  EvaluatorOptions evaluator;
+  int iterations = 30000;
+  /// Initial temperature as a fraction of the start solution's T_soc.
+  double initial_temperature_fraction = 0.02;
+  /// Final temperature as a fraction of the initial temperature.
+  double final_temperature_fraction = 1e-3;
+  std::uint64_t seed = 0x5eedULL;
+  /// Seed the search from Algorithm 2's result instead of a round-robin
+  /// architecture (then annealing acts as a refinement pass).
+  bool warm_start = false;
+};
+
+/// Returns the best architecture found; deterministic for a fixed config.
+/// Throws std::invalid_argument for w_max < 1 or an empty SOC.
+[[nodiscard]] OptimizeResult optimize_tam_annealing(
+    const Soc& soc, const TestTimeTable& table, const SiTestSet& tests,
+    int w_max, const AnnealingConfig& config = {});
+
+}  // namespace sitam

@@ -1,0 +1,77 @@
+#include "tam/architecture.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sitam {
+
+int TamArchitecture::total_width() const {
+  int width = 0;
+  for (const TestRail& r : rails) width += r.width;
+  return width;
+}
+
+int TamArchitecture::core_count() const {
+  int count = 0;
+  for (const TestRail& r : rails) count += static_cast<int>(r.cores.size());
+  return count;
+}
+
+std::vector<int> TamArchitecture::rail_of_core(int num_cores) const {
+  std::vector<int> map(static_cast<std::size_t>(num_cores), -1);
+  for (std::size_t r = 0; r < rails.size(); ++r) {
+    for (const int core : rails[r].cores) {
+      if (core >= 0 && core < num_cores) {
+        map[static_cast<std::size_t>(core)] = static_cast<int>(r);
+      }
+    }
+  }
+  return map;
+}
+
+void TamArchitecture::validate(int num_cores) const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_cores), false);
+  for (const TestRail& rail : rails) {
+    if (rail.width < 1) {
+      throw std::invalid_argument("TAM rail has width < 1");
+    }
+    if (rail.cores.empty()) {
+      throw std::invalid_argument("TAM rail has no cores");
+    }
+    if (!std::is_sorted(rail.cores.begin(), rail.cores.end())) {
+      throw std::invalid_argument("TAM rail cores not sorted");
+    }
+    for (const int core : rail.cores) {
+      if (core < 0 || core >= num_cores) {
+        throw std::invalid_argument("TAM rail core index out of range");
+      }
+      if (seen[static_cast<std::size_t>(core)]) {
+        throw std::invalid_argument("core assigned to multiple TAM rails");
+      }
+      seen[static_cast<std::size_t>(core)] = true;
+    }
+  }
+  for (int c = 0; c < num_cores; ++c) {
+    if (!seen[static_cast<std::size_t>(c)]) {
+      throw std::invalid_argument("core " + std::to_string(c) +
+                                  " assigned to no TAM rail");
+    }
+  }
+}
+
+std::string TamArchitecture::describe() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rails.size(); ++r) {
+    if (r != 0) os << ' ';
+    os << '{';
+    for (std::size_t c = 0; c < rails[r].cores.size(); ++c) {
+      if (c != 0) os << ',';
+      os << rails[r].cores[c];
+    }
+    os << "|w=" << rails[r].width << '}';
+  }
+  return os.str();
+}
+
+}  // namespace sitam

@@ -1,0 +1,36 @@
+#include "tam/area.h"
+
+#include <stdexcept>
+
+namespace sitam {
+
+WrapperArea wrapper_area(const Module& module, int rail_width,
+                         const WrapperAreaModel& model) {
+  if (rail_width < 1) {
+    throw std::invalid_argument("wrapper_area: rail_width must be >= 1");
+  }
+  WrapperArea area;
+  area.standard_ge =
+      model.standard_cell_ge * module.boundary_cells() +
+      model.bypass_ge_per_wire * rail_width;
+  area.si_extra_ge = model.si_woc_extra_ge * module.woc() +
+                     model.si_wic_extra_ge * module.wic();
+  return area;
+}
+
+WrapperArea soc_wrapper_area(const Soc& soc, const TamArchitecture& arch,
+                             const WrapperAreaModel& model) {
+  arch.validate(soc.core_count());
+  WrapperArea total;
+  for (const TestRail& rail : arch.rails) {
+    for (const int core : rail.cores) {
+      const WrapperArea area = wrapper_area(
+          soc.modules[static_cast<std::size_t>(core)], rail.width, model);
+      total.standard_ge += area.standard_ge;
+      total.si_extra_ge += area.si_extra_ge;
+    }
+  }
+  return total;
+}
+
+}  // namespace sitam

@@ -1,0 +1,46 @@
+// DFT area model for SI-enhanced IEEE-1500 wrappers.
+//
+// The paper's wrappers extend the standard cells: the wrapper output cell
+// must launch two consecutive values (vector pairs with ↑/↓ transitions),
+// which costs an extra storage element plus toggle logic; the wrapper input
+// cell embeds an integrity-loss sensor (ILS, per Bai/Dey/Rajski DAC'00 or
+// Tehranipour et al. VTS'03) to flag noise/delay. This module estimates the
+// silicon cost of that choice in gate equivalents (GE) so the test-time
+// savings can be weighed against hardware overhead.
+#pragma once
+
+#include "soc/soc.h"
+#include "tam/architecture.h"
+
+namespace sitam {
+
+struct WrapperAreaModel {
+  double standard_cell_ge = 4.0;   ///< Plain 1500 wrapper boundary cell.
+  double si_woc_extra_ge = 3.0;    ///< Second storage element + toggle mux.
+  double si_wic_extra_ge = 6.0;    ///< Integrity-loss sensor + sticky flag.
+  double bypass_ge_per_wire = 1.0; ///< WBY register bit per TAM wire.
+};
+
+struct WrapperArea {
+  double standard_ge = 0.0;  ///< Baseline wrapper (no SI support).
+  double si_extra_ge = 0.0;  ///< Additional cost of SI-capable cells.
+
+  [[nodiscard]] double total_ge() const { return standard_ge + si_extra_ge; }
+  /// SI overhead relative to the baseline wrapper, in percent.
+  [[nodiscard]] double overhead_pct() const {
+    return standard_ge <= 0.0 ? 0.0 : 100.0 * si_extra_ge / standard_ge;
+  }
+};
+
+/// Area of one core's wrapper when attached to a rail of `rail_width`.
+/// Throws std::invalid_argument if rail_width < 1.
+[[nodiscard]] WrapperArea wrapper_area(const Module& module, int rail_width,
+                                       const WrapperAreaModel& model = {});
+
+/// Total wrapper area over a full architecture (the architecture must be
+/// valid for the SOC).
+[[nodiscard]] WrapperArea soc_wrapper_area(const Soc& soc,
+                                           const TamArchitecture& arch,
+                                           const WrapperAreaModel& model = {});
+
+}  // namespace sitam

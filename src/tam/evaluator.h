@@ -1,0 +1,173 @@
+// TAM architecture evaluation: InTest times, SI test times
+// (CalculateSITestTime) and the SI test schedule of Algorithm 1.
+//
+// Timing model (DESIGN.md §4):
+//  * InTest: rails test their cores sequentially, so
+//      time_in(r) = Σ_{c ∈ C(r)} T_c(width(r)),
+//    with T_c from the Combine wrapper design, and T_in_soc = max_r time_in.
+//  * SI test group s (p_s compacted vector pairs): on rail r the involved
+//    cores' boundary chains are daisy-chained (don't-care cores bypassed),
+//    giving a per-pattern scan length l_r(s) = Σ ceil(WOC_c / width(r));
+//    with pipelined shift and a 2-cycle launch/capture per vector pair,
+//      T_r(s) = (p_s + 1) · l_r(s) + 2 · p_s.
+//    The group's duration is set by its bottleneck TAM:
+//      time_si(s) = max over involved rails of T_r(s)    (Example 1).
+//  * Same wrapper cells serve InTest and SI test, so the two never overlap:
+//      T_soc = T_in_soc + T_si_soc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sitest/group.h"
+#include "soc/soc.h"
+#include "tam/architecture.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+
+/// Launch/capture cycles per SI vector pair.
+inline constexpr std::int64_t kSiApplyCycles = 2;
+
+/// Which schedulable SI test Algorithm 1 starts first. The paper's
+/// pseudocode says only "find s* in unSchedSI"; longest-first is the
+/// default here (classic LPT greedy) and the alternatives exist for the
+/// ablation study.
+enum class SchedulePick : std::uint8_t {
+  kLongestFirst,
+  kShortestFirst,
+  kInputOrder,
+};
+
+/// TAM architecture style for the ExTest/SI time model.
+///
+/// * kTestRail — the paper's choice: the wrapper boundaries of a rail's
+///   cores are daisy-chained (don't-care cores bypassed), so SI patterns
+///   stream through with full pipelining: T = (p+1)·l + 2p.
+/// * kTestBus — the Varma/Bhatia-style multiplexing access: only one
+///   core's wrapper connects to the bus at a time, so each pattern loads
+///   the involved cores one after another with a mux-switch overhead and
+///   without cross-pattern pipelining:
+///   T = p·(l + kBusSwitchCycles·cores) + l + 2p.
+/// InTest time is identical in both styles (cores on a rail/bus test
+/// sequentially either way) — exactly why the paper says Test Bus does not
+/// naturally support the parallel external testing SI needs.
+enum class ArchitectureStyle : std::uint8_t { kTestRail, kTestBus };
+
+/// Mux reconfiguration cycles per involved core per pattern under
+/// ArchitectureStyle::kTestBus.
+inline constexpr std::int64_t kBusSwitchCycles = 4;
+
+struct EvaluatorOptions {
+  SchedulePick pick = SchedulePick::kLongestFirst;
+  ArchitectureStyle style = ArchitectureStyle::kTestRail;
+  /// Peak-power budget for concurrently running SI tests (same units as
+  /// SiTestGroup::power; see assign_si_power). 0 = unconstrained. The
+  /// evaluator rejects test sets containing a group whose own power already
+  /// exceeds the budget (it could never be scheduled).
+  std::int64_t power_budget = 0;
+  /// Treat the shared functional bus as a scheduling resource: at most one
+  /// bus-using SI test (SiTestGroup::uses_bus) runs at a time — two
+  /// concurrent tests cannot both drive the same bus lines. Off by default
+  /// (the paper's Algorithm 1 only tracks TAM conflicts).
+  bool exclusive_bus = false;
+  /// Interleave the InTest and SI phases (extension beyond the paper): an
+  /// SI test may start once every rail it involves has finished its own
+  /// InTest, instead of waiting for the global InTest makespan. The wrapper
+  /// resource constraint is still respected — a core's boundary serves its
+  /// InTest and its SI tests at disjoint times. With this on,
+  /// T_soc = makespan of the combined schedule (may beat T_in + T_si).
+  bool interleave_phases = false;
+};
+
+/// Per-rail bookkeeping (the paper's TestRail data structure, Fig. 4).
+struct RailTimes {
+  std::int64_t time_in = 0;    ///< InTest time on this rail.
+  std::int64_t time_si = 0;    ///< This rail's own busy time across SI tests.
+  std::int64_t time_used = 0;  ///< time_in + time_si.
+};
+
+/// One scheduled SI test (the paper's SI-test data structure, Fig. 4).
+struct SiScheduleItem {
+  int group = -1;  ///< Index into SiTestSet::groups.
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t duration = 0;       ///< time_si(s) = end - begin.
+  int bottleneck_rail = -1;        ///< r_btn(s): rail with the max T_r(s).
+  std::vector<int> rails;          ///< R_tam(s): involved rail indices.
+};
+
+struct SiSchedule {
+  std::vector<SiScheduleItem> items;  ///< In scheduling order.
+  std::int64_t makespan = 0;          ///< T_si_soc.
+};
+
+/// One core's InTest slot on its rail (cores on a rail test sequentially,
+/// rails run in parallel).
+struct InTestSlot {
+  int core = -1;
+  int rail = -1;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+struct Evaluation {
+  std::int64_t t_in = 0;
+  std::int64_t t_si = 0;
+  std::int64_t t_soc = 0;
+  std::vector<RailTimes> rails;    ///< Parallel to architecture.rails.
+  std::vector<InTestSlot> intest;  ///< Rail-major, then core order.
+  SiSchedule schedule;
+};
+
+/// Binds a SOC, its precomputed wrapper time table and an SI test set, and
+/// evaluates TestRail architectures against them. The optimizer calls
+/// evaluate() hundreds of thousands of times, so the implementation reuses
+/// scratch buffers; instances are cheap to query but not thread-safe.
+class TamEvaluator {
+ public:
+  /// All references must outlive the evaluator. Throws
+  /// std::invalid_argument if the table's core count mismatches the SOC.
+  TamEvaluator(const Soc& soc, const TestTimeTable& table,
+               const SiTestSet& tests, const EvaluatorOptions& options = {});
+
+  /// Full evaluation: rail times, Algorithm 1 schedule, T_soc.
+  /// The architecture must be valid for this SOC (validate() it first when
+  /// it comes from outside the optimizer).
+  [[nodiscard]] Evaluation evaluate(const TamArchitecture& arch) const;
+
+  /// Convenience: just T_soc.
+  [[nodiscard]] std::int64_t t_soc(const TamArchitecture& arch) const {
+    return evaluate(arch).t_soc;
+  }
+
+  /// CalculateSITestTime for one group: duration and bottleneck rail.
+  /// `rail_of_core` must come from arch.rail_of_core(core_count()).
+  [[nodiscard]] std::int64_t si_group_time(const TamArchitecture& arch,
+                                           const SiTestGroup& group,
+                                           const std::vector<int>& rail_of_core,
+                                           int* bottleneck_rail) const;
+
+  [[nodiscard]] const Soc& soc() const { return *soc_; }
+  [[nodiscard]] const SiTestSet& tests() const { return *tests_; }
+  [[nodiscard]] const TestTimeTable& table() const { return *table_; }
+
+ private:
+  // SI busy time of one rail given per-pattern scan length and core count.
+  [[nodiscard]] std::int64_t rail_si_busy(std::int64_t shift,
+                                          std::int64_t involved_cores,
+                                          std::int64_t patterns) const;
+
+  const Soc* soc_;
+  const TestTimeTable* table_;
+  const SiTestSet* tests_;
+  EvaluatorOptions options_;
+
+  // Scratch reused across evaluate() calls (single-threaded use).
+  mutable std::vector<int> rail_of_core_;
+  mutable std::vector<std::int64_t> rail_shift_;  // l_r(s) accumulator
+  mutable std::vector<std::int64_t> rail_cores_;  // |C(r) ∩ C(s)| accumulator
+  mutable std::vector<int> touched_rails_;
+};
+
+}  // namespace sitam

@@ -1,0 +1,148 @@
+#include "tam/exhaustive.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sitam {
+
+namespace {
+
+/// Calls `visit(block_of)` for every set partition of [0, n), encoded as a
+/// restricted growth string: element i may join any block used by elements
+/// before it, or open the next fresh block.
+template <typename Visitor>
+void partition_recurse(int i, int n, int used_blocks,
+                       std::vector<int>& block_of, Visitor& visit) {
+  if (i == n) {
+    visit(block_of);
+    return;
+  }
+  for (int b = 0; b <= used_blocks; ++b) {
+    block_of[static_cast<std::size_t>(i)] = b;
+    partition_recurse(i + 1, n, std::max(used_blocks, b + 1), block_of,
+                      visit);
+  }
+}
+
+template <typename Visitor>
+void for_each_partition(int n, Visitor&& visit) {
+  if (n <= 0) return;
+  std::vector<int> block_of(static_cast<std::size_t>(n), 0);
+  partition_recurse(0, n, 0, block_of, visit);
+}
+
+/// Calls `visit(widths)` for every composition of `total` into `parts`
+/// positive integers.
+template <typename Visitor>
+void for_each_composition(int total, int parts, std::vector<int>& widths,
+                          Visitor&& visit) {
+  if (parts == 1) {
+    widths.push_back(total);
+    visit(widths);
+    widths.pop_back();
+    return;
+  }
+  for (int first = 1; first <= total - (parts - 1); ++first) {
+    widths.push_back(first);
+    for_each_composition(total - first, parts - 1, widths, visit);
+    widths.pop_back();
+  }
+}
+
+std::int64_t binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+/// Stirling numbers of the second kind, S(n, k).
+std::int64_t stirling2(int n, int k) {
+  std::vector<std::vector<std::int64_t>> s(
+      static_cast<std::size_t>(n + 1),
+      std::vector<std::int64_t>(static_cast<std::size_t>(k + 1), 0));
+  s[0][0] = 1;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= std::min(i, k); ++j) {
+      s[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          static_cast<std::int64_t>(j) *
+              s[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j)] +
+          s[static_cast<std::size_t>(i - 1)]
+           [static_cast<std::size_t>(j - 1)];
+    }
+  }
+  return s[static_cast<std::size_t>(n)][static_cast<std::size_t>(k)];
+}
+
+}  // namespace
+
+std::int64_t exhaustive_search_space(int cores, int w_max) {
+  std::int64_t total = 0;
+  for (int k = 1; k <= std::min(cores, w_max); ++k) {
+    total += stirling2(cores, k) * binomial(w_max - 1, k - 1);
+  }
+  return total;
+}
+
+OptimizeResult exhaustive_optimum(const Soc& soc, const TestTimeTable& table,
+                                  const SiTestSet& tests, int w_max,
+                                  const ExhaustiveLimits& limits) {
+  if (w_max < 1) {
+    throw std::invalid_argument("exhaustive_optimum: w_max must be >= 1");
+  }
+  if (soc.core_count() > limits.max_cores || w_max > limits.max_width) {
+    throw std::invalid_argument(
+        "exhaustive_optimum: instance exceeds the exhaustive limits (" +
+        std::to_string(soc.core_count()) + " cores, W=" +
+        std::to_string(w_max) + ")");
+  }
+
+  const TamEvaluator evaluator(soc, table, tests, limits.evaluator);
+  const int n = soc.core_count();
+
+  bool have_best = false;
+  std::int64_t best_t = 0;
+  TamArchitecture best_arch;
+
+  for_each_partition(n, [&](const std::vector<int>& block_of) {
+    const int blocks =
+        1 + *std::max_element(block_of.begin(), block_of.end());
+    if (blocks > w_max) return;
+
+    TamArchitecture arch;
+    arch.rails.resize(static_cast<std::size_t>(blocks));
+    for (int c = 0; c < n; ++c) {
+      auto& rail = arch.rails[static_cast<std::size_t>(
+          block_of[static_cast<std::size_t>(c)])];
+      rail.cores.push_back(c);  // ascending c => sorted
+    }
+
+    std::vector<int> widths;
+    for_each_composition(w_max, blocks, widths, [&](const std::vector<int>&
+                                                        assignment) {
+      for (int r = 0; r < blocks; ++r) {
+        arch.rails[static_cast<std::size_t>(r)].width =
+            assignment[static_cast<std::size_t>(r)];
+      }
+      const std::int64_t t = evaluator.evaluate(arch).t_soc;
+      if (!have_best || t < best_t) {
+        have_best = true;
+        best_t = t;
+        best_arch = arch;
+      }
+    });
+  });
+
+  SITAM_CHECK_MSG(have_best, "no architecture enumerated");
+  OptimizeResult result;
+  result.evaluation = evaluator.evaluate(best_arch);
+  result.architecture = std::move(best_arch);
+  return result;
+}
+
+}  // namespace sitam

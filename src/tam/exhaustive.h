@@ -1,0 +1,35 @@
+// Exact reference optimizer for tiny SOCs.
+//
+// Enumerates every TestRail architecture — all set partitions of the cores
+// (restricted-growth strings) times all compositions of W_max over the
+// rails — and returns the best one under the same evaluation (including the
+// Algorithm 1 schedule) the heuristic uses. Exponential, of course: meant
+// for validating TAM_Optimization's optimality gap on <= 8 cores.
+#pragma once
+
+#include "sitest/group.h"
+#include "soc/soc.h"
+#include "tam/evaluator.h"
+#include "tam/optimizer.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+
+struct ExhaustiveLimits {
+  int max_cores = 8;    ///< Bell(8) = 4140 partitions.
+  int max_width = 16;   ///< Composition counts stay manageable.
+  EvaluatorOptions evaluator;
+};
+
+/// Finds the global optimum over (partition, widths). Throws
+/// std::invalid_argument when the instance exceeds the limits (this is a
+/// guard rail, not a soft cap) or w_max < 1.
+[[nodiscard]] OptimizeResult exhaustive_optimum(
+    const Soc& soc, const TestTimeTable& table, const SiTestSet& tests,
+    int w_max, const ExhaustiveLimits& limits = {});
+
+/// Number of architectures exhaustive_optimum would evaluate (partitions
+/// into k blocks times compositions of w_max into k parts, summed over k).
+[[nodiscard]] std::int64_t exhaustive_search_space(int cores, int w_max);
+
+}  // namespace sitam

@@ -1,0 +1,379 @@
+#include "tam/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+namespace {
+
+class Optimizer {
+ public:
+  Optimizer(const Soc& soc, const TestTimeTable& table, const SiTestSet& tests,
+            int w_max, const OptimizerConfig& config)
+      : soc_(soc),
+        w_max_(w_max),
+        config_(config),
+        eval_(soc, table, tests, config.evaluator) {
+    if (w_max < 1) {
+      throw std::invalid_argument("optimize_tam: w_max must be >= 1");
+    }
+    if (soc.core_count() == 0) {
+      throw std::invalid_argument("optimize_tam: SOC has no cores");
+    }
+  }
+
+  OptimizeResult run(const std::vector<int>& core_order) {
+    TamArchitecture arch = start_solution(core_order);
+    bottom_up(arch);
+    const int last_failed_id = top_down(arch);
+    sweep(arch, last_failed_id);
+    if (config_.core_reshuffle) core_reshuffle(arch);
+    SITAM_CHECK_MSG(arch.total_width() == w_max_,
+                    "optimizer lost wires: " << arch.total_width()
+                                             << " != " << w_max_);
+    arch.validate(soc_.core_count());
+    OptimizeResult result;
+    result.evaluation = eval_.evaluate(arch);
+    result.architecture = std::move(arch);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t t_soc(const TamArchitecture& arch) const {
+    ++evals_;
+    return eval_.evaluate(arch).t_soc;
+  }
+
+  [[nodiscard]] int fresh_id() { return next_id_++; }
+
+  /// Rail indices sorted by time_used, descending (ties: lower index).
+  [[nodiscard]] std::vector<std::size_t> order_by_time_used(
+      const TamArchitecture& arch) const {
+    const Evaluation ev = eval_.evaluate(arch);
+    std::vector<std::size_t> order(arch.rails.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (ev.rails[a].time_used != ev.rails[b].time_used) {
+        return ev.rails[a].time_used > ev.rails[b].time_used;
+      }
+      return a < b;
+    });
+    return order;
+  }
+
+  // -------------------------------------------------------------------
+  // Wire distribution (distributeFreeWires)
+  // -------------------------------------------------------------------
+
+  /// Cheap rule: each wire goes to the rail with the largest time_used.
+  void distribute_cheap(TamArchitecture& arch, int wires) const {
+    for (int i = 0; i < wires; ++i) {
+      const Evaluation ev = eval_.evaluate(arch);
+      std::size_t pick = 0;
+      for (std::size_t r = 1; r < arch.rails.size(); ++r) {
+        if (ev.rails[r].time_used > ev.rails[pick].time_used) pick = r;
+      }
+      ++arch.rails[pick].width;
+    }
+  }
+
+  /// Precise rule (the paper's): each wire goes to the rail whose extra
+  /// wire minimizes T_soc — which is by definition a bottleneck rail.
+  void distribute_precise(TamArchitecture& arch, int wires) const {
+    for (int i = 0; i < wires; ++i) {
+      std::size_t best_rail = 0;
+      std::int64_t best_t = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t r = 0; r < arch.rails.size(); ++r) {
+        ++arch.rails[r].width;
+        const std::int64_t t = t_soc(arch);
+        --arch.rails[r].width;
+        if (t < best_t) {
+          best_t = t;
+          best_rail = r;
+        }
+      }
+      ++arch.rails[best_rail].width;
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // mergeTAMs
+  // -------------------------------------------------------------------
+
+  /// Builds arch minus rails a and b plus their merger at `width`.
+  [[nodiscard]] TamArchitecture merged(const TamArchitecture& arch,
+                                       std::size_t a, std::size_t b,
+                                       int width, int id) const {
+    TamArchitecture out;
+    out.rails.reserve(arch.rails.size() - 1);
+    for (std::size_t r = 0; r < arch.rails.size(); ++r) {
+      if (r != a && r != b) out.rails.push_back(arch.rails[r]);
+    }
+    TestRail merged_rail;
+    merged_rail.width = width;
+    merged_rail.id = id;
+    merged_rail.cores.reserve(arch.rails[a].cores.size() +
+                              arch.rails[b].cores.size());
+    std::merge(arch.rails[a].cores.begin(), arch.rails[a].cores.end(),
+               arch.rails[b].cores.begin(), arch.rails[b].cores.end(),
+               std::back_inserter(merged_rail.cores));
+    out.rails.push_back(std::move(merged_rail));
+    return out;
+  }
+
+  /// The paper's mergeTAMs: tries to merge rail `r1` with every other rail
+  /// at every width in [max(w_i, w_1), w_i + w_1], distributing freed wires
+  /// to bottleneck rails. Applies the best strictly-improving merge and
+  /// returns true, else leaves arch untouched and returns false.
+  bool merge_tams(TamArchitecture& arch, std::size_t r1) {
+    const std::int64_t current = t_soc(arch);
+    std::int64_t best_t = current;
+    std::size_t best_partner = arch.rails.size();
+    int best_width = 0;
+
+    for (std::size_t rj = 0; rj < arch.rails.size(); ++rj) {
+      if (rj == r1) continue;
+      const int w1 = arch.rails[r1].width;
+      const int wj = arch.rails[rj].width;
+      const int width_min = std::max(w1, wj);
+      const int width_max = w1 + wj;
+      for (int w = width_min; w <= width_max; ++w) {
+        TamArchitecture cand = merged(arch, r1, rj, w, /*id=*/-2);
+        const int leftover = width_max - w;
+        if (leftover > 0) {
+          if (config_.fast_candidate_scan) {
+            distribute_cheap(cand, leftover);
+          } else {
+            distribute_precise(cand, leftover);
+          }
+        }
+        const std::int64_t t = t_soc(cand);
+        if (t < best_t) {
+          best_t = t;
+          best_partner = rj;
+          best_width = w;
+        }
+      }
+    }
+    if (best_partner == arch.rails.size()) return false;
+
+    // Rebuild the winner; with fast scanning also try the precise
+    // distribution and keep whichever really is better.
+    const int id = fresh_id();
+    TamArchitecture winner =
+        merged(arch, r1, best_partner, best_width, id);
+    const int leftover =
+        arch.rails[r1].width + arch.rails[best_partner].width - best_width;
+    if (leftover > 0) {
+      if (config_.fast_candidate_scan) {
+        TamArchitecture cheap = winner;
+        distribute_cheap(cheap, leftover);
+        TamArchitecture precise = std::move(winner);
+        distribute_precise(precise, leftover);
+        winner = t_soc(precise) <= t_soc(cheap) ? std::move(precise)
+                                                : std::move(cheap);
+      } else {
+        distribute_precise(winner, leftover);
+      }
+    }
+    if (t_soc(winner) >= current) return false;
+    arch = std::move(winner);
+    return true;
+  }
+
+  // -------------------------------------------------------------------
+  // Algorithm 2 stages
+  // -------------------------------------------------------------------
+
+  TamArchitecture start_solution(const std::vector<int>& core_order) {
+    TamArchitecture arch;
+    for (const int core : core_order) {
+      TestRail rail;
+      rail.cores = {core};
+      rail.width = 1;
+      rail.id = fresh_id();
+      arch.rails.push_back(std::move(rail));
+    }
+
+    if (w_max_ < static_cast<int>(arch.rails.size())) {
+      // Not enough wires: repeatedly merge the (W_max+1)-th rail (by
+      // time_used, descending) into whichever of the first W_max rails
+      // yields the lowest T_soc (Algorithm 2, lines 7-13).
+      while (static_cast<int>(arch.rails.size()) > w_max_) {
+        const auto order = order_by_time_used(arch);
+        const std::size_t victim = order[static_cast<std::size_t>(w_max_)];
+        std::size_t best_partner = arch.rails.size();
+        std::int64_t best_t = std::numeric_limits<std::int64_t>::max();
+        for (int j = 0; j < w_max_; ++j) {
+          const std::size_t partner = order[static_cast<std::size_t>(j)];
+          const TamArchitecture cand =
+              merged(arch, victim, partner, /*width=*/1, /*id=*/-2);
+          const std::int64_t t = t_soc(cand);
+          if (t < best_t) {
+            best_t = t;
+            best_partner = partner;
+          }
+        }
+        SITAM_CHECK(best_partner != arch.rails.size());
+        arch = merged(arch, victim, best_partner, 1, fresh_id());
+      }
+    } else if (w_max_ > static_cast<int>(arch.rails.size())) {
+      distribute_precise(arch,
+                         w_max_ - static_cast<int>(arch.rails.size()));
+    }
+    return arch;
+  }
+
+  /// Lines 17-23: repeatedly merge the rail with the *lowest* time_used.
+  void bottom_up(TamArchitecture& arch) {
+    int guard = config_.max_iterations;
+    while (arch.rails.size() > 1 && guard-- > 0) {
+      const auto order = order_by_time_used(arch);
+      if (!merge_tams(arch, order.back())) break;
+    }
+  }
+
+  /// Lines 24-30: repeatedly merge the rail with the *highest* time_used.
+  /// Returns the id of the rail whose merge attempt finally failed (the
+  /// initial R_skip member), or -1 if the loop never failed.
+  int top_down(TamArchitecture& arch) {
+    int guard = config_.max_iterations;
+    while (arch.rails.size() > 1 && guard-- > 0) {
+      const auto order = order_by_time_used(arch);
+      const std::size_t r1 = order.front();
+      const int r1_id = arch.rails[r1].id;
+      if (!merge_tams(arch, r1)) return r1_id;
+    }
+    return -1;
+  }
+
+  /// Lines 31-36: keep trying the heaviest not-yet-skipped rail; failed
+  /// attempts enter R_skip, successes reset nothing (merged rails carry
+  /// fresh ids and so are eligible again).
+  void sweep(TamArchitecture& arch, int initial_skip_id) {
+    std::set<int> skip;
+    if (initial_skip_id >= 0) skip.insert(initial_skip_id);
+    int guard = config_.max_iterations;
+    while (guard-- > 0) {
+      std::size_t pick = arch.rails.size();
+      std::int64_t pick_used = -1;
+      const Evaluation ev = eval_.evaluate(arch);
+      for (std::size_t r = 0; r < arch.rails.size(); ++r) {
+        if (skip.count(arch.rails[r].id) != 0) continue;
+        if (ev.rails[r].time_used > pick_used) {
+          pick_used = ev.rails[r].time_used;
+          pick = r;
+        }
+      }
+      if (pick == arch.rails.size()) break;  // R_skip == R_soc
+      const int pick_id = arch.rails[pick].id;
+      if (!merge_tams(arch, pick)) skip.insert(pick_id);
+    }
+  }
+
+  /// Rails whose extra wire would strictly reduce T_soc.
+  [[nodiscard]] std::vector<std::size_t> bottleneck_rails(
+      TamArchitecture& arch) const {
+    const std::int64_t current = t_soc(arch);
+    std::vector<std::size_t> result;
+    for (std::size_t r = 0; r < arch.rails.size(); ++r) {
+      ++arch.rails[r].width;
+      if (t_soc(arch) < current) result.push_back(r);
+      --arch.rails[r].width;
+    }
+    return result;
+  }
+
+  /// Line 37: move single cores off bottleneck rails while it helps.
+  void core_reshuffle(TamArchitecture& arch) {
+    int guard = config_.max_iterations;
+    while (guard-- > 0) {
+      const std::int64_t current = t_soc(arch);
+      const auto bottlenecks = bottleneck_rails(arch);
+      std::int64_t best_t = current;
+      std::size_t best_from = 0;
+      std::size_t best_to = 0;
+      int best_core = -1;
+
+      for (const std::size_t from : bottlenecks) {
+        if (arch.rails[from].cores.size() < 2) continue;  // rail must stay
+        for (const int core : arch.rails[from].cores) {
+          for (std::size_t to = 0; to < arch.rails.size(); ++to) {
+            if (to == from) continue;
+            TamArchitecture cand = arch;
+            auto& src = cand.rails[from].cores;
+            src.erase(std::find(src.begin(), src.end(), core));
+            auto& dst = cand.rails[to].cores;
+            dst.insert(std::lower_bound(dst.begin(), dst.end(), core), core);
+            const std::int64_t t = t_soc(cand);
+            if (t < best_t) {
+              best_t = t;
+              best_from = from;
+              best_to = to;
+              best_core = core;
+            }
+          }
+        }
+      }
+      if (best_core < 0) break;
+      auto& src = arch.rails[best_from].cores;
+      src.erase(std::find(src.begin(), src.end(), best_core));
+      auto& dst = arch.rails[best_to].cores;
+      dst.insert(std::lower_bound(dst.begin(), dst.end(), best_core),
+                 best_core);
+    }
+  }
+
+  const Soc& soc_;
+  int w_max_;
+  OptimizerConfig config_;
+  TamEvaluator eval_;
+  int next_id_ = 0;
+  mutable std::int64_t evals_ = 0;
+};
+
+}  // namespace
+
+OptimizeResult optimize_tam(const Soc& soc, const TestTimeTable& table,
+                            const SiTestSet& tests, int w_max,
+                            const OptimizerConfig& config) {
+  std::vector<int> order(static_cast<std::size_t>(soc.core_count()));
+  std::iota(order.begin(), order.end(), 0);
+
+  Optimizer first(soc, table, tests, w_max, config);
+  OptimizeResult best = first.run(order);
+
+  // Additional restarts with permuted initial core orders: the algorithm
+  // is unchanged, only its (unspecified) tie-breaks differ.
+  Rng rng(config.restart_seed);
+  for (int restart = 1; restart < config.restarts; ++restart) {
+    rng.shuffle(order);
+    Optimizer attempt(soc, table, tests, w_max, config);
+    OptimizeResult candidate = attempt.run(order);
+    if (candidate.evaluation.t_soc < best.evaluation.t_soc) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+OptimizeResult optimize_intest_only(const Soc& soc, const TestTimeTable& table,
+                                    const SiTestSet& tests, int w_max,
+                                    const OptimizerConfig& config) {
+  static const SiTestSet kNoTests{};
+  OptimizeResult result = optimize_tam(soc, table, kNoTests, w_max, config);
+  // Score the SI-obliviously optimized architecture against the real SI
+  // tests: this is the paper's T_[8] column.
+  const TamEvaluator with_tests(soc, table, tests, config.evaluator);
+  result.evaluation = with_tests.evaluate(result.architecture);
+  return result;
+}
+
+}  // namespace sitam

@@ -1,0 +1,66 @@
+// TAM design and optimization for Problem P_SI_opt (Algorithm 2).
+//
+// Adapts TR-Architect [Goel & Marinissen, ITC'02] to co-optimize
+// T_soc = T_in + T_si: a start solution assigns every core to a 1-bit rail
+// and merges/distributes down or up to W_max wires; then bottom-up merging,
+// top-down merging and a skip-set sweep iteratively improve the
+// architecture; finally cores are reshuffled away from bottleneck rails.
+// Because T_si depends on the architecture (Example 1), every candidate is
+// scored with a full evaluation including the Algorithm 1 schedule, and
+// *bottleneck rails* are identified empirically: a rail is a bottleneck iff
+// granting it one extra wire strictly reduces T_soc.
+#pragma once
+
+#include <cstdint>
+
+#include "sitest/group.h"
+#include "soc/soc.h"
+#include "tam/architecture.h"
+#include "tam/evaluator.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+
+struct OptimizerConfig {
+  /// Time model / scheduling options used for every candidate evaluation.
+  EvaluatorOptions evaluator;
+  /// Run the final coreReshuffle stage (Algorithm 2, line 37).
+  bool core_reshuffle = true;
+  /// During candidate scanning inside mergeTAMs, distribute leftover wires
+  /// with the cheap max-time_used rule; the winning candidate is rebuilt
+  /// with the precise minimum-T_soc rule. Disabling uses precise
+  /// distribution everywhere (slower, rarely better).
+  bool fast_candidate_scan = true;
+  /// Safety valve on the improvement loops.
+  int max_iterations = 100000;
+  /// Run the whole Algorithm 2 pipeline this many times — the first run is
+  /// the paper's deterministic order, later runs permute the initial core
+  /// order (different tie-breaks => different trajectories) — and keep the
+  /// best result. 1 = the paper's single pass.
+  int restarts = 1;
+  /// Seed for the restart permutations.
+  std::uint64_t restart_seed = 0x5eedULL;
+};
+
+struct OptimizeResult {
+  TamArchitecture architecture;
+  Evaluation evaluation;
+};
+
+/// Solves Problem P_SI_opt: minimizes T_soc = T_in + T_si over TestRail
+/// architectures of total width exactly `w_max`.
+/// Throws std::invalid_argument for w_max < 1 or an empty SOC.
+[[nodiscard]] OptimizeResult optimize_tam(const Soc& soc,
+                                          const TestTimeTable& table,
+                                          const SiTestSet& tests, int w_max,
+                                          const OptimizerConfig& config = {});
+
+/// The paper's T_[8] baseline: plain TR-Architect, i.e. Algorithm 2 run
+/// against an *empty* SI test set (optimizing T_in only), after which the
+/// resulting fixed architecture is evaluated against `tests` to obtain the
+/// total T_soc an SI-oblivious flow would deliver.
+[[nodiscard]] OptimizeResult optimize_intest_only(
+    const Soc& soc, const TestTimeTable& table, const SiTestSet& tests,
+    int w_max, const OptimizerConfig& config = {});
+
+}  // namespace sitam

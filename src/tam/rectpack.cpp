@@ -1,0 +1,136 @@
+#include "tam/rectpack.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "wrapper/pareto.h"
+
+namespace sitam {
+
+std::int64_t PackingResult::idle_area(int w_max) const {
+  std::int64_t used = 0;
+  for (const PackedCore& slot : slots) {
+    used += static_cast<std::int64_t>(slot.width) * (slot.end - slot.begin);
+  }
+  return static_cast<std::int64_t>(w_max) * makespan - used;
+}
+
+namespace {
+
+/// Places cores in the given order; wires are interchangeable, so the
+/// packing state is just each wire's next free time.
+PackingResult pack_in_order(const Soc& soc, const TestTimeTable& table,
+                            int w_max, const std::vector<int>& order) {
+  std::vector<std::int64_t> wire_free(static_cast<std::size_t>(w_max), 0);
+  PackingResult result;
+  result.slots.reserve(order.size());
+
+  for (const int core : order) {
+    // Candidate widths: the core's Pareto front clipped to w_max (any other
+    // width is dominated by the next-lower Pareto width).
+    const auto pareto =
+        pareto_points(soc.modules[static_cast<std::size_t>(core)], w_max);
+
+    // Sort wires by availability once per core.
+    std::vector<std::size_t> by_free(wire_free.size());
+    std::iota(by_free.begin(), by_free.end(), 0);
+    std::sort(by_free.begin(), by_free.end(),
+              [&](std::size_t a, std::size_t b) {
+                return wire_free[a] < wire_free[b];
+              });
+
+    int best_width = 0;
+    std::int64_t best_finish = 0;
+    std::int64_t best_start = 0;
+    for (const ParetoPoint& point : pareto) {
+      // Taking the `width` earliest-free wires minimizes the start for
+      // this width.
+      const std::int64_t start =
+          wire_free[by_free[static_cast<std::size_t>(point.width - 1)]];
+      const std::int64_t finish = start + point.time;
+      if (best_width == 0 || finish < best_finish ||
+          (finish == best_finish && point.width < best_width)) {
+        best_width = point.width;
+        best_finish = finish;
+        best_start = start;
+      }
+    }
+    SITAM_CHECK_MSG(best_width > 0, "no feasible width for core " << core);
+
+    for (int w = 0; w < best_width; ++w) {
+      wire_free[by_free[static_cast<std::size_t>(w)]] = best_finish;
+    }
+    PackedCore slot;
+    slot.core = core;
+    slot.width = best_width;
+    slot.begin = best_start;
+    slot.end = best_finish;
+    result.slots.push_back(slot);
+    result.makespan = std::max(result.makespan, best_finish);
+  }
+  return result;
+}
+
+}  // namespace
+
+PackingResult pack_intest_rectangles(const Soc& soc,
+                                     const TestTimeTable& table, int w_max) {
+  if (w_max < 1) {
+    throw std::invalid_argument(
+        "pack_intest_rectangles: w_max must be >= 1");
+  }
+
+  // Order candidates: by serial time (longest first), by minimum
+  // achievable time at full width (hardest first), and by time at half
+  // width (a mid-molding proxy for area).
+  std::vector<int> by_serial(static_cast<std::size_t>(soc.core_count()));
+  std::iota(by_serial.begin(), by_serial.end(), 0);
+  std::vector<int> by_floor = by_serial;
+  std::vector<int> by_half = by_serial;
+  std::stable_sort(by_serial.begin(), by_serial.end(), [&](int a, int b) {
+    return table.intest(a, 1) > table.intest(b, 1);
+  });
+  std::stable_sort(by_floor.begin(), by_floor.end(), [&](int a, int b) {
+    return table.intest(a, w_max) > table.intest(b, w_max);
+  });
+  const int half = std::max(1, w_max / 2);
+  std::stable_sort(by_half.begin(), by_half.end(), [&](int a, int b) {
+    return table.intest(a, half) > table.intest(b, half);
+  });
+
+  PackingResult best = pack_in_order(soc, table, w_max, by_serial);
+  std::vector<int> best_order = by_serial;
+  for (const auto& order : {by_floor, by_half}) {
+    PackingResult alt = pack_in_order(soc, table, w_max, order);
+    if (alt.makespan < best.makespan) {
+      best = std::move(alt);
+      best_order = order;
+    }
+  }
+
+  // Local descent: hoist the makespan-defining core to the front of the
+  // order and repack; its placement then has first pick of the wires.
+  for (int round = 0; round < 2 * soc.core_count(); ++round) {
+    int critical = -1;
+    for (const PackedCore& slot : best.slots) {
+      if (slot.end == best.makespan) {
+        critical = slot.core;
+        break;
+      }
+    }
+    SITAM_CHECK(critical >= 0);
+    if (!best_order.empty() && best_order.front() == critical) break;
+    std::vector<int> order = best_order;
+    order.erase(std::find(order.begin(), order.end(), critical));
+    order.insert(order.begin(), critical);
+    PackingResult candidate = pack_in_order(soc, table, w_max, order);
+    if (candidate.makespan >= best.makespan) break;
+    best = std::move(candidate);
+    best_order = std::move(order);
+  }
+  return best;
+}
+
+}  // namespace sitam

@@ -1,0 +1,47 @@
+// Rectangle-packing InTest scheduling (the Iyengar/Chakrabarty-style
+// formulation cited as [11] by the paper).
+//
+// Where TestRail statically partitions the wires, rectangle packing treats
+// a core's test as a moldable rectangle — width w wires × T_c(w) cycles,
+// with (w, T) drawn from the core's Pareto front — and packs the
+// rectangles into a W_max-wide strip to minimize the makespan. Wires are
+// time-multiplexed between cores, which is exactly the flexibility a Test
+// Bus style TAM offers for InTest. Implemented as moldable-task list
+// scheduling: cores longest-first, each placed at the width minimizing its
+// finish time on the currently least-loaded wires.
+//
+// Used as an InTest-only comparator (the rectpack_vs_trarchitect bench):
+// it bounds how much of TR-Architect's gap is due to the static-partition
+// restriction rather than the heuristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/soc.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+
+struct PackedCore {
+  int core = -1;
+  int width = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+struct PackingResult {
+  std::vector<PackedCore> slots;  ///< One per core, in placement order.
+  std::int64_t makespan = 0;
+
+  /// Wire-seconds of idle space below the makespan (packing quality).
+  [[nodiscard]] std::int64_t idle_area(int w_max) const;
+};
+
+/// Packs all cores of the SOC; throws std::invalid_argument for w_max < 1.
+/// Deterministic. Tries several placement orders and returns the best.
+[[nodiscard]] PackingResult pack_intest_rectangles(const Soc& soc,
+                                                   const TestTimeTable& table,
+                                                   int w_max);
+
+}  // namespace sitam

@@ -1,0 +1,39 @@
+// Lightweight runtime invariant checking.
+//
+// SITAM_CHECK is always on (the optimizer state machines are cheap relative
+// to the algorithms they guard) and throws std::logic_error so that both the
+// tests and the benches fail loudly instead of producing silently wrong
+// tables.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sitam::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SITAM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace sitam::detail
+
+#define SITAM_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::sitam::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (false)
+
+#define SITAM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream sitam_check_os_;                                  \
+      sitam_check_os_ << msg;                                              \
+      ::sitam::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    sitam_check_os_.str());                \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing shared by the bench and example
+// binaries: `--name=value`, `--name value` and boolean `--name` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sitam {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed flags
+  /// (anything not starting with "--").
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   std::string fallback) const;
+  [[nodiscard]] std::int64_t get_or(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double get_or(const std::string& name, double fallback) const;
+
+  /// Parses a comma-separated integer list, e.g. --widths=8,16,24.
+  [[nodiscard]] std::vector<std::int64_t> get_list_or(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sitam

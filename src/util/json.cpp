@@ -1,0 +1,162 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace sitam {
+
+void JsonWriter::before_value(bool is_key) {
+  SITAM_CHECK_MSG(!done_, "JsonWriter: document already complete");
+  if (is_key) {
+    SITAM_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                    "JsonWriter: key outside of object");
+    SITAM_CHECK_MSG(!expecting_value_, "JsonWriter: key after key");
+  } else {
+    if (!scopes_.empty() && scopes_.back() == Scope::kObject) {
+      SITAM_CHECK_MSG(expecting_value_,
+                      "JsonWriter: value without key inside object");
+    }
+  }
+  if (needs_comma_ && !expecting_value_) out_ += ',';
+}
+
+void JsonWriter::append_escaped(std::string_view text) {
+  out_ += '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value(false);
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  needs_comma_ = false;
+  expecting_value_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SITAM_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                  "JsonWriter: end_object without open object");
+  SITAM_CHECK_MSG(!expecting_value_, "JsonWriter: dangling key");
+  out_ += '}';
+  scopes_.pop_back();
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value(false);
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  needs_comma_ = false;
+  expecting_value_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SITAM_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                  "JsonWriter: end_array without open array");
+  out_ += ']';
+  scopes_.pop_back();
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  before_value(true);
+  append_escaped(name);
+  out_ += ':';
+  expecting_value_ = true;
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value(false);
+  append_escaped(text);
+  expecting_value_ = false;
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value(false);
+  out_ += std::to_string(number);
+  expecting_value_ = false;
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value(false);
+  if (std::isfinite(number)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", number);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  expecting_value_ = false;
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value(false);
+  out_ += flag ? "true" : "false";
+  expecting_value_ = false;
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value(false);
+  out_ += "null";
+  expecting_value_ = false;
+  needs_comma_ = true;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  SITAM_CHECK_MSG(scopes_.empty() && done_,
+                  "JsonWriter: document incomplete");
+  return out_;
+}
+
+}  // namespace sitam

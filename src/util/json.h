@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer (no external dependencies).
+//
+// Used by the CLI and benches to emit machine-readable results. Handles
+// nesting, comma placement and string escaping; misuse (value without key
+// inside an object, unbalanced scopes, ...) throws via SITAM_CHECK.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sitam {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by a value or scope.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finishes and returns the document; all scopes must be closed.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value(bool is_key);
+  void append_escaped(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool needs_comma_ = false;
+  bool expecting_value_ = false;  // a key was just written
+  bool done_ = false;             // a top-level value was completed
+};
+
+}  // namespace sitam

@@ -1,0 +1,49 @@
+// Leveled logging to stderr. Default level is kWarn so that library code is
+// silent in tests/benches unless something is actually wrong; the harnesses
+// raise it to kInfo with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sitam {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace sitam
+
+#define SITAM_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::sitam::log_level())) \
+    ;                                                         \
+  else                                                        \
+    ::sitam::detail::LogLine(level)
+
+#define SITAM_DEBUG SITAM_LOG(::sitam::LogLevel::kDebug)
+#define SITAM_INFO SITAM_LOG(::sitam::LogLevel::kInfo)
+#define SITAM_WARN SITAM_LOG(::sitam::LogLevel::kWarn)
+#define SITAM_ERROR SITAM_LOG(::sitam::LogLevel::kError)

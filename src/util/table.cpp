@@ -1,0 +1,149 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sitam {
+
+void TextTable::add_column(std::string header, Align align) {
+  SITAM_CHECK_MSG(rows_.empty(), "columns must be declared before rows");
+  columns_.push_back(Column{std::move(header), align});
+}
+
+void TextTable::begin_row() {
+  if (!rows_.empty() && !rows_.back().is_separator) {
+    SITAM_CHECK_MSG(rows_.back().cells.size() == columns_.size(),
+                    "previous row has " << rows_.back().cells.size()
+                                        << " cells, expected "
+                                        << columns_.size());
+  }
+  rows_.push_back(Row{});
+}
+
+void TextTable::append_cell(std::string value) {
+  SITAM_CHECK_MSG(!rows_.empty() && !rows_.back().is_separator,
+                  "cell() without begin_row()");
+  SITAM_CHECK_MSG(rows_.back().cells.size() < columns_.size(),
+                  "row already has " << columns_.size() << " cells");
+  rows_.back().cells.push_back(std::move(value));
+}
+
+void TextTable::cell(std::string value) { append_cell(std::move(value)); }
+
+void TextTable::cell(std::int64_t value) {
+  append_cell(std::to_string(value));
+}
+
+void TextTable::cell(std::uint64_t value) {
+  append_cell(std::to_string(value));
+}
+
+void TextTable::cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  append_cell(buf);
+}
+
+void TextTable::separator() {
+  Row row;
+  row.is_separator = true;
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::string pad(const std::string& text, std::size_t width, Align align) {
+  if (text.size() >= width) return text;
+  const std::size_t total = width - text.size();
+  switch (align) {
+    case Align::kLeft:
+      return text + std::string(total, ' ');
+    case Align::kRight:
+      return std::string(total, ' ') + text;
+    case Align::kCenter: {
+      const std::size_t left = total / 2;
+      return std::string(left, ' ') + text + std::string(total - left, ' ');
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << pad(columns_[c].header, widths[c], Align::kCenter) << " |";
+  }
+  os << '\n';
+  rule();
+  for (const Row& row : rows_) {
+    if (row.is_separator) {
+      rule();
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& text = c < row.cells.size() ? row.cells[c] : "";
+      os << ' ' << pad(text, widths[c], columns_[c].align) << " |";
+    }
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  const auto escape = [](const std::string& text) {
+    if (text.find_first_of(",\"\n") == std::string::npos) return text;
+    std::string out = "\"";
+    for (const char ch : text) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << escape(columns_[c].header);
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    if (row.is_separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << escape(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.str();
+}
+
+}  // namespace sitam

@@ -1,0 +1,61 @@
+// Plain-text table rendering for the paper-style result tables.
+//
+// The bench binaries print rows in the same layout as Tables 2 and 3 of the
+// paper; TextTable handles column sizing, alignment, separators and an
+// optional CSV dump so results can be post-processed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sitam {
+
+enum class Align : std::uint8_t { kLeft, kRight, kCenter };
+
+class TextTable {
+ public:
+  /// Declares a column; all columns must be declared before rows are added.
+  void add_column(std::string header, Align align = Align::kRight);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void begin_row();
+
+  void cell(std::string value);
+  void cell(std::int64_t value);
+  void cell(std::uint64_t value);
+  /// Fixed-point formatting with `decimals` digits after the point.
+  void cell(double value, int decimals = 2);
+
+  /// Inserts a horizontal separator line after the current last row.
+  void separator();
+
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with unicode-free ASCII borders.
+  [[nodiscard]] std::string str() const;
+
+  /// Comma-separated dump (header + rows, separators skipped).
+  [[nodiscard]] std::string csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  struct Column {
+    std::string header;
+    Align align;
+  };
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  void append_cell(std::string value);
+
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sitam

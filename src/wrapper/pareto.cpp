@@ -1,0 +1,38 @@
+#include "wrapper/pareto.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wrapper/design.h"
+
+namespace sitam {
+
+std::vector<ParetoPoint> pareto_points(const Module& module, int max_width) {
+  if (max_width < 1) {
+    throw std::invalid_argument("pareto_points: max_width must be >= 1");
+  }
+  std::vector<ParetoPoint> points;
+  std::int64_t last = -1;
+  for (int w = 1; w <= max_width; ++w) {
+    const std::int64_t time = intest_time(module, w);
+    if (points.empty() || time < last) {
+      points.push_back(ParetoPoint{w, time});
+      last = time;
+    }
+  }
+  return points;
+}
+
+std::vector<int> soc_pareto_widths(const Soc& soc, int max_width) {
+  std::vector<int> widths;
+  for (const Module& m : soc.modules) {
+    for (const ParetoPoint& point : pareto_points(m, max_width)) {
+      widths.push_back(point.width);
+    }
+  }
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+  return widths;
+}
+
+}  // namespace sitam

@@ -1,0 +1,32 @@
+// Pareto analysis of the wrapper width/time trade-off.
+//
+// A core's InTest time is a non-increasing step function of TAM width;
+// only the widths where it actually drops matter ("Pareto-optimal" widths
+// in the TR-Architect literature). Wires past the last Pareto width are
+// pure waste — this analysis surfaces that, both per core and as the
+// common width set of a whole SOC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/soc.h"
+
+namespace sitam {
+
+struct ParetoPoint {
+  int width = 0;
+  std::int64_t time = 0;
+};
+
+/// Ascending widths at which the core's InTest time strictly improves,
+/// starting at width 1. Throws std::invalid_argument if max_width < 1.
+[[nodiscard]] std::vector<ParetoPoint> pareto_points(const Module& module,
+                                                     int max_width);
+
+/// Widths that are Pareto-optimal for at least one core of the SOC —
+/// the only rail widths a width-enumerating optimizer ever needs.
+[[nodiscard]] std::vector<int> soc_pareto_widths(const Soc& soc,
+                                                 int max_width);
+
+}  // namespace sitam

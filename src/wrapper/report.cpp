@@ -1,0 +1,42 @@
+#include "wrapper/report.h"
+
+#include <sstream>
+
+#include "wrapper/pareto.h"
+
+namespace sitam {
+
+std::string describe_wrapper(const Module& module,
+                             const WrapperDesign& design) {
+  std::ostringstream os;
+  os << "wrapper for " << module.name << " at width " << design.width
+     << " (p=" << module.patterns << "):\n";
+  for (std::size_t c = 0; c < design.chains.size(); ++c) {
+    const WrapperChain& chain = design.chains[c];
+    os << "  chain " << c + 1 << ": in=" << chain.input_cells << " [";
+    for (std::size_t i = 0; i < chain.internal_chains.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << chain.internal_chains[i];
+    }
+    os << "] out=" << chain.output_cells
+       << "  si=" << chain.scan_in_length()
+       << " so=" << chain.scan_out_length() << "\n";
+  }
+  os << "scan-in " << design.scan_in << ", scan-out " << design.scan_out
+     << ", test time " << design.test_time(module.patterns) << " cc\n";
+  return os.str();
+}
+
+std::string describe_pareto(const Module& module, int max_width) {
+  std::ostringstream os;
+  os << module.name << " Pareto front:";
+  for (const ParetoPoint& point : pareto_points(module, max_width)) {
+    os << " w=" << point.width << " T=" << point.time << " |";
+  }
+  std::string out = os.str();
+  if (out.back() == '|') out.pop_back();
+  out += "\n";
+  return out;
+}
+
+}  // namespace sitam

@@ -1,0 +1,26 @@
+// Human-readable wrapper design reports: which internal scan chains and
+// how many boundary cells land on each wrapper scan chain, the resulting
+// scan-in/out lengths, and the width/time Pareto front of a core.
+#pragma once
+
+#include <string>
+
+#include "soc/soc.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+
+/// Multi-line description of one wrapper design, e.g.
+///   wrapper for s38417 at width 4 (p=68):
+///     chain 1: in=7  [51 51 51 51 51 51 51 51] out=27  si=415 so=435
+///     ...
+///   scan-in 415, scan-out 435, test time 29716 cc
+[[nodiscard]] std::string describe_wrapper(const Module& module,
+                                           const WrapperDesign& design);
+
+/// One-line-per-point Pareto table for the core:
+///   w=1 T=123456 | w=2 T=61728 | ...
+[[nodiscard]] std::string describe_pareto(const Module& module,
+                                          int max_width);
+
+}  // namespace sitam

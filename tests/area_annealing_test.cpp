@@ -1,0 +1,184 @@
+// Tests for the DFT area model and the simulated-annealing optimizer.
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "tam/annealing.h"
+#include "tam/area.h"
+#include "tam/exhaustive.h"
+#include "tam/optimizer.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+namespace {
+
+SiTestGroup group(std::string label, std::vector<int> cores,
+                  std::int64_t patterns) {
+  SiTestGroup g;
+  g.label = std::move(label);
+  g.cores = std::move(cores);
+  g.patterns = patterns;
+  g.raw_patterns = patterns;
+  return g;
+}
+
+SiTestSet mini_tests() {
+  SiTestSet t;
+  t.groups = {group("si1", {0, 1, 2, 3, 4}, 40), group("si2", {0, 3, 4}, 25),
+              group("si3", {1, 2}, 30)};
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Area model
+// ---------------------------------------------------------------------------
+
+TEST(WrapperAreaModel, PerModuleArithmetic) {
+  Module m;
+  m.id = 1;
+  m.name = "m";
+  m.inputs = 10;
+  m.outputs = 20;
+  m.bidirs = 5;
+  m.patterns = 1;
+  const WrapperArea area = wrapper_area(m, 4);
+  // standard: 4 GE * (15 + 25) cells + 1 GE * 4 bypass bits.
+  EXPECT_DOUBLE_EQ(area.standard_ge, 4.0 * 40 + 4.0);
+  // SI extra: 3 GE * 25 WOCs + 6 GE * 15 WICs.
+  EXPECT_DOUBLE_EQ(area.si_extra_ge, 3.0 * 25 + 6.0 * 15);
+  EXPECT_DOUBLE_EQ(area.total_ge(), area.standard_ge + area.si_extra_ge);
+  EXPECT_GT(area.overhead_pct(), 0.0);
+}
+
+TEST(WrapperAreaModel, CustomModelScales) {
+  Module m;
+  m.id = 1;
+  m.name = "m";
+  m.inputs = 8;
+  m.outputs = 8;
+  m.patterns = 1;
+  WrapperAreaModel model;
+  model.si_wic_extra_ge = 0.0;
+  model.si_woc_extra_ge = 0.0;
+  const WrapperArea area = wrapper_area(m, 1, model);
+  EXPECT_DOUBLE_EQ(area.si_extra_ge, 0.0);
+  EXPECT_DOUBLE_EQ(area.overhead_pct(), 0.0);
+}
+
+TEST(WrapperAreaModel, RejectsBadWidth) {
+  Module m;
+  m.id = 1;
+  m.name = "m";
+  m.inputs = 1;
+  m.outputs = 1;
+  EXPECT_THROW((void)wrapper_area(m, 0), std::invalid_argument);
+}
+
+TEST(WrapperAreaModel, SocTotalsSumCores) {
+  const Soc soc = load_benchmark("mini5");
+  TamArchitecture arch;
+  arch.rails = {TestRail{{0, 1, 2}, 2, -1}, TestRail{{3, 4}, 3, -1}};
+  const WrapperArea total = soc_wrapper_area(soc, arch);
+  double expected_standard = 0;
+  double expected_extra = 0;
+  for (const TestRail& rail : arch.rails) {
+    for (const int c : rail.cores) {
+      const WrapperArea a = wrapper_area(
+          soc.modules[static_cast<std::size_t>(c)], rail.width);
+      expected_standard += a.standard_ge;
+      expected_extra += a.si_extra_ge;
+    }
+  }
+  EXPECT_DOUBLE_EQ(total.standard_ge, expected_standard);
+  EXPECT_DOUBLE_EQ(total.si_extra_ge, expected_extra);
+}
+
+TEST(WrapperAreaModel, SocTotalRequiresValidArchitecture) {
+  const Soc soc = load_benchmark("mini5");
+  TamArchitecture arch;  // misses cores
+  arch.rails = {TestRail{{0, 1}, 2, -1}};
+  EXPECT_THROW((void)soc_wrapper_area(soc, arch), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Annealing optimizer
+// ---------------------------------------------------------------------------
+
+TEST(Annealing, ProducesValidArchitecture) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 6);
+  const SiTestSet tests = mini_tests();
+  AnnealingConfig config;
+  config.iterations = 5000;
+  const OptimizeResult result =
+      optimize_tam_annealing(soc, table, tests, 6, config);
+  EXPECT_EQ(result.architecture.total_width(), 6);
+  EXPECT_NO_THROW(result.architecture.validate(soc.core_count()));
+  EXPECT_EQ(result.evaluation.t_soc,
+            result.evaluation.t_in + result.evaluation.t_si);
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 6);
+  const SiTestSet tests = mini_tests();
+  AnnealingConfig config;
+  config.iterations = 3000;
+  config.seed = 99;
+  const auto a = optimize_tam_annealing(soc, table, tests, 6, config);
+  const auto b = optimize_tam_annealing(soc, table, tests, 6, config);
+  EXPECT_EQ(a.evaluation.t_soc, b.evaluation.t_soc);
+  EXPECT_EQ(a.architecture.describe(), b.architecture.describe());
+}
+
+TEST(Annealing, ApproachesExhaustiveOptimumOnMini5) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 8);
+  const SiTestSet tests = mini_tests();
+  const OptimizeResult exact = exhaustive_optimum(soc, table, tests, 8);
+  AnnealingConfig config;
+  config.iterations = 20000;
+  const OptimizeResult annealed =
+      optimize_tam_annealing(soc, table, tests, 8, config);
+  EXPECT_GE(annealed.evaluation.t_soc, exact.evaluation.t_soc);
+  EXPECT_LE(annealed.evaluation.t_soc, exact.evaluation.t_soc * 110 / 100);
+}
+
+TEST(Annealing, WarmStartNeverWorseThanAlg2) {
+  const Soc soc = load_benchmark("d695");
+  const TestTimeTable table(soc, 16);
+  SiTestSet tests;
+  std::vector<int> all;
+  for (int c = 0; c < soc.core_count(); ++c) all.push_back(c);
+  tests.groups = {group("all", all, 300)};
+  const OptimizeResult alg2 = optimize_tam(soc, table, tests, 16);
+  AnnealingConfig config;
+  config.warm_start = true;
+  config.iterations = 5000;
+  const OptimizeResult annealed =
+      optimize_tam_annealing(soc, table, tests, 16, config);
+  // Warm start keeps the incumbent as `best`, so it cannot regress.
+  EXPECT_LE(annealed.evaluation.t_soc, alg2.evaluation.t_soc);
+}
+
+TEST(Annealing, RejectsBadInput) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 4);
+  SiTestSet none;
+  EXPECT_THROW((void)optimize_tam_annealing(soc, table, none, 0),
+               std::invalid_argument);
+}
+
+TEST(Annealing, WidthOneCollapsesToSingleRail) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 1);
+  const SiTestSet tests = mini_tests();
+  AnnealingConfig config;
+  config.iterations = 500;
+  const OptimizeResult result =
+      optimize_tam_annealing(soc, table, tests, 1, config);
+  EXPECT_EQ(result.architecture.total_width(), 1);
+  EXPECT_EQ(result.architecture.rails.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,212 @@
+// Tests for the BIST substrate: LFSR properties (period, determinism),
+// BIST pattern structure, and the coverage-vs-cycles behaviour that backs
+// the paper's §2 argument against hardware-only SI test generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interconnect/terminal_space.h"
+#include "interconnect/topology.h"
+#include "pattern/bist.h"
+#include "pattern/compaction.h"
+#include "pattern/generator.h"
+#include "soc/benchmarks.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+TEST(Lfsr, Maximal8BitPeriod) {
+  Lfsr lfsr(8, 0xA5);
+  const std::uint64_t start = lfsr.state();
+  int period = 0;
+  do {
+    (void)lfsr.next_bit();
+    ++period;
+  } while (lfsr.state() != start && period <= 300);
+  EXPECT_EQ(period, 255);  // 2^8 - 1 states for a maximal polynomial
+}
+
+TEST(Lfsr, NeverReachesZeroState) {
+  Lfsr lfsr(16, 1);
+  for (int i = 0; i < 70000; ++i) {
+    (void)lfsr.next_bit();
+    ASSERT_NE(lfsr.state(), 0u);
+  }
+}
+
+TEST(Lfsr, DeterministicForSeed) {
+  Lfsr a(32, 12345);
+  Lfsr b(32, 12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_bit(), b.next_bit());
+}
+
+TEST(Lfsr, NextBitsPacksLsbFirst) {
+  Lfsr a(8, 0x5B);
+  Lfsr b(8, 0x5B);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 6; ++i) {
+    expected |= static_cast<std::uint64_t>(a.next_bit()) << i;
+  }
+  EXPECT_EQ(b.next_bits(6), expected);
+}
+
+TEST(Lfsr, BalancedBitstream) {
+  Lfsr lfsr(32, 0xDEADBEEF);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += lfsr.next_bit() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+}
+
+TEST(Lfsr, RejectsBadConstruction) {
+  EXPECT_THROW(Lfsr(7, 1), std::invalid_argument);   // unsupported width
+  EXPECT_THROW(Lfsr(8, 0), std::invalid_argument);   // zero seed
+  EXPECT_THROW(Lfsr(8, 0x100), std::invalid_argument);  // zero in low bits
+}
+
+class BistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(41);
+    TopologyConfig config;
+    config.wires_per_link = 8;
+    config.with_bus = false;
+    topo_ = generate_topology(ts_, config, rng);
+  }
+  Soc soc_ = load_benchmark("mini5");
+  TerminalSpace ts_{soc_};
+  Topology topo_;
+};
+
+TEST_F(BistTest, PatternsAreFullySpecified) {
+  const auto patterns = generate_bist_patterns(ts_, 5, 1);
+  ASSERT_EQ(patterns.size(), 5u);
+  for (const SiPattern& p : patterns) {
+    EXPECT_EQ(p.care_count(), ts_.total());
+  }
+}
+
+TEST_F(BistTest, PatternsBarelyCompact) {
+  // Fully-specified pseudo-random patterns are pairwise incompatible with
+  // overwhelming probability: compaction buys nothing (unlike the 97%+
+  // compaction of sparse deterministic patterns).
+  const auto patterns = generate_bist_patterns(ts_, 40, 2);
+  const auto compacted = compact_greedy(patterns, ts_.total(), 0);
+  EXPECT_EQ(compacted.patterns.size(), patterns.size());
+}
+
+TEST_F(BistTest, SequencesDifferAcrossCores) {
+  const auto patterns = generate_bist_patterns(ts_, 1, 3);
+  // Core 0 and core 1 should not produce the identical value sequence.
+  const int w0 = ts_.woc(0);
+  bool differs = false;
+  for (int bit = 0; bit < std::min(w0, ts_.woc(1)); ++bit) {
+    if (patterns[0].at(ts_.terminal(0, bit)) !=
+        patterns[0].at(ts_.terminal(1, bit))) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(BistTest, CoverageCurveIsMonotone) {
+  const auto curve =
+      bist_ma_coverage_curve(topo_, ts_, 2, {0, 50, 200, 800}, 7);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_EQ(curve[0].coverage.covered_faults, 0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].coverage.covered_faults,
+              curve[i - 1].coverage.covered_faults);
+  }
+}
+
+TEST_F(BistTest, BistNeedsFarMoreCyclesThanDeterministicPatterns) {
+  // The deterministic MA set covers everything with 6 patterns per victim;
+  // BIST after the same number of cycles covers only a fraction.
+  const int window = 2;
+  const auto deterministic = generate_ma_patterns(topo_, ts_, window);
+  const auto deterministic_coverage =
+      ma_fault_coverage(deterministic, topo_, window);
+  EXPECT_EQ(deterministic_coverage.covered_faults,
+            deterministic_coverage.total_faults);
+
+  const int budget = static_cast<int>(deterministic.size());
+  const auto curve =
+      bist_ma_coverage_curve(topo_, ts_, window, {budget}, 7);
+  EXPECT_LT(curve[0].coverage.covered_faults,
+            curve[0].coverage.total_faults);
+}
+
+TEST_F(BistTest, WiderNeighborhoodsSlowBistCoverage) {
+  // P(all 2k neighbors align) halves per extra neighbor: under-testing
+  // worsens with the coupling window — the §2 argument.
+  const int budget = 2000;
+  const auto narrow =
+      bist_ma_coverage_curve(topo_, ts_, 1, {budget}, 7);
+  const auto wide = bist_ma_coverage_curve(topo_, ts_, 3, {budget}, 7);
+  EXPECT_GT(narrow[0].coverage.percent(), wide[0].coverage.percent());
+}
+
+TEST_F(BistTest, RejectsBadArguments) {
+  EXPECT_THROW((void)generate_bist_patterns(ts_, -1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)bist_ma_coverage_curve(topo_, ts_, 2, {-5}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sitam
+
+namespace sitam {
+namespace {
+
+TEST(Misr, DeterministicSignature) {
+  Misr a(16);
+  Misr b(16);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    a.absorb(i * 0x9E37u);
+    b.absorb(i * 0x9E37u);
+  }
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
+TEST(Misr, DifferentStreamsDifferentSignatures) {
+  Misr a(32);
+  Misr b(32);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    a.absorb(i);
+    b.absorb(i);
+  }
+  b.absorb(1);  // single extra cycle with a single-bit difference
+  a.absorb(0);
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, SingleBitErrorNeverAliasesImmediately) {
+  // A MISR is linear: a single-bit input difference can only cancel after
+  // it has been fed back around, never on the cycle it enters.
+  for (int bit = 0; bit < 8; ++bit) {
+    Misr clean(8);
+    Misr faulty(8);
+    clean.absorb(0x5A);
+    faulty.absorb(0x5A ^ (1ULL << bit));
+    EXPECT_NE(clean.signature(), faulty.signature()) << "bit " << bit;
+  }
+}
+
+TEST(Misr, StateStaysInWidth) {
+  Misr m(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    m.absorb(i * 77);
+    EXPECT_LT(m.signature(), 256u);
+  }
+}
+
+TEST(Misr, RejectsUnsupportedWidth) {
+  EXPECT_THROW(Misr(13), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,119 @@
+// Tests for the workload cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/cache.h"
+#include "soc/benchmarks.h"
+
+namespace sitam {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("sitam_cache_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SiWorkloadConfig config() const {
+    SiWorkloadConfig c;
+    c.pattern_count = 300;
+    c.groupings = {1, 2};
+    c.seed = 77;
+    return c;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CacheTest, MissThenHitRoundTrips) {
+  const Soc soc = load_benchmark("mini5");
+  EXPECT_FALSE(load_workload(soc, config(), dir_).has_value());
+
+  const SiWorkload prepared = SiWorkload::prepare(soc, config());
+  save_workload(prepared, dir_);
+
+  const auto loaded = load_workload(soc, config(), dir_);
+  ASSERT_TRUE(loaded.has_value());
+  for (const int parts : prepared.groupings()) {
+    const SiTestSet& a = prepared.tests(parts);
+    const SiTestSet& b = loaded->tests(parts);
+    ASSERT_EQ(a.groups.size(), b.groups.size());
+    EXPECT_EQ(a.total_patterns(), b.total_patterns());
+    EXPECT_EQ(a.total_raw_patterns(), b.total_raw_patterns());
+    for (std::size_t g = 0; g < a.groups.size(); ++g) {
+      EXPECT_EQ(a.groups[g].cores, b.groups[g].cores);
+      EXPECT_EQ(a.groups[g].patterns, b.groups[g].patterns);
+      EXPECT_EQ(a.groups[g].is_remainder, b.groups[g].is_remainder);
+    }
+  }
+}
+
+TEST_F(CacheTest, PrepareCachedIsTransparent) {
+  const Soc soc = load_benchmark("mini5");
+  const SiWorkload first = prepare_cached(soc, config(), dir_);
+  const SiWorkload second = prepare_cached(soc, config(), dir_);
+  for (const int parts : first.groupings()) {
+    EXPECT_EQ(first.tests(parts).total_patterns(),
+              second.tests(parts).total_patterns());
+  }
+  // Experiments on the cached workload behave identically.
+  const auto a = run_experiment(first, 4);
+  const auto b = run_experiment(second, 4);
+  EXPECT_EQ(a.t_min, b.t_min);
+  EXPECT_EQ(a.t_baseline, b.t_baseline);
+}
+
+TEST_F(CacheTest, KeyDependsOnParameters) {
+  const Soc soc = load_benchmark("mini5");
+  const Soc other = load_benchmark("d695");
+  SiWorkloadConfig base = config();
+  const std::string key = workload_cache_key(soc, base);
+
+  SiWorkloadConfig different_seed = base;
+  different_seed.seed = 78;
+  EXPECT_NE(workload_cache_key(soc, different_seed), key);
+
+  SiWorkloadConfig different_count = base;
+  different_count.pattern_count = 301;
+  EXPECT_NE(workload_cache_key(soc, different_count), key);
+
+  SiWorkloadConfig different_window = base;
+  different_window.patterns.locality_window += 1;
+  EXPECT_NE(workload_cache_key(soc, different_window), key);
+
+  EXPECT_NE(workload_cache_key(other, base), key);
+}
+
+TEST_F(CacheTest, PartialCacheIsAMiss) {
+  const Soc soc = load_benchmark("mini5");
+  const SiWorkload prepared = SiWorkload::prepare(soc, config());
+  save_workload(prepared, dir_);
+  // Remove one grouping's file: the load must treat the entry as absent.
+  const std::string key = workload_cache_key(soc, config());
+  std::filesystem::remove(std::filesystem::path(dir_) /
+                          (key + "_g2.sitest"));
+  EXPECT_FALSE(load_workload(soc, config(), dir_).has_value());
+}
+
+TEST_F(CacheTest, FromPreparedValidatesShape) {
+  const Soc soc = load_benchmark("mini5");
+  EXPECT_THROW(
+      (void)SiWorkload::from_prepared(soc, config(), {}),
+      std::invalid_argument);
+  std::vector<SiTestSet> wrong(2);
+  wrong[0].parts = 1;
+  wrong[1].parts = 3;  // config says 2
+  EXPECT_THROW((void)SiWorkload::from_prepared(soc, config(),
+                                               std::move(wrong)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sitam

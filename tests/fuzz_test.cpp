@@ -1,0 +1,106 @@
+// Deterministic pseudo-fuzzing of every text parser: random mutations of
+// valid documents must either parse cleanly or throw the parser's
+// documented exception type — never crash, hang, or throw something else.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pattern/io.h"
+#include "sitest/io.h"
+#include "soc/benchmarks.h"
+#include "soc/itc02.h"
+#include "soc/parser.h"
+#include "soc/writer.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+std::string mutate(std::string text, Rng& rng) {
+  const int edits = 1 + static_cast<int>(rng.below(4));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(rng.below(text.size()));
+    switch (rng.below(4)) {
+      case 0:  // flip to a random printable/control char
+        text[pos] = static_cast<char>(rng.uniform(9, 126));
+        break;
+      case 1:  // delete
+        text.erase(pos, 1 + rng.below(3));
+        break;
+      case 2:  // duplicate a chunk
+        text.insert(pos, text.substr(pos, 1 + rng.below(8)));
+        break;
+      default:  // insert digits / separators
+        text.insert(pos, std::string(1 + rng.below(3),
+                                     "0123456789 :|=@xX-"[rng.below(18)]));
+        break;
+    }
+  }
+  return text;
+}
+
+template <typename ParseFn>
+void fuzz(const std::string& seed_doc, int iterations, std::uint64_t seed,
+          ParseFn&& parse) {
+  Rng rng(seed);
+  int ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < iterations; ++i) {
+    const std::string mutated = mutate(seed_doc, rng);
+    try {
+      parse(mutated);
+      ++ok;
+    } catch (const std::runtime_error&) {
+      ++rejected;  // includes SocParseError and the io/itc02 errors
+    } catch (const std::logic_error&) {
+      ++rejected;  // SITAM_CHECK / std::invalid_argument on semantic issues
+    }
+    // Anything else (segfault, std::bad_alloc storm, unknown type)
+    // propagates and fails the test.
+  }
+  // Sanity: the fuzzer actually exercises both paths over the run.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(ok + rejected, 0);
+}
+
+TEST(Fuzz, SocParser) {
+  const std::string doc = soc_to_text(load_benchmark("mini5"));
+  fuzz(doc, 400, 1001, [](const std::string& text) {
+    (void)parse_soc(text);
+  });
+}
+
+TEST(Fuzz, Itc02Parser) {
+  const std::string doc =
+      "SocName demo\nTotalModules 2\n"
+      "Module 0\n Level 0\n Inputs 1\n Outputs 1\n ScanChains 0\n"
+      "Module 1\n Level 1\n Inputs 4\n Outputs 5\n Bidirs 1\n"
+      " ScanChains 2 : 10 12\n TestPatterns 9\n";
+  fuzz(doc, 400, 1002, [](const std::string& text) {
+    (void)parse_itc02(text);
+  });
+}
+
+TEST(Fuzz, PatternParser) {
+  const std::string doc =
+      "SiPatterns terminals=30 bus=8 count=3\n"
+      "3r 7f 12:0 | 2@5 6@5\n"
+      "0:1 29f\n"
+      "-\n";
+  fuzz(doc, 400, 1003, [](const std::string& text) {
+    (void)patterns_from_text(text);
+  });
+}
+
+TEST(Fuzz, TestSetParser) {
+  const std::string doc =
+      "SiTestSet parts=2 groups=2\n"
+      "group g1 remainder=0 patterns=5 raw=9 power=3 bus=1 cores=0,1,2\n"
+      "group rem remainder=1 patterns=2 raw=4 power=0 bus=0 cores=0,1,2,3\n";
+  fuzz(doc, 400, 1004, [](const std::string& text) {
+    (void)test_set_from_text(text);
+  });
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,283 @@
+// Tests for the hypergraph structure and the multilevel partitioner:
+// metric correctness, balance, determinism, quality on structured
+// instances (including the paper's Fig. 2 example) and parameterized
+// random sweeps.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/partition.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+Hypergraph path_graph(int n) {
+  // v0 - v1 - v2 - ... chain of 2-pin edges, unit weights.
+  Hypergraph hg;
+  hg.vertex_weights.assign(static_cast<std::size_t>(n), 1);
+  for (int i = 0; i + 1 < n; ++i) {
+    hg.edges.push_back(Hyperedge{{i, i + 1}, 1});
+  }
+  return hg;
+}
+
+TEST(Hypergraph, Totals) {
+  Hypergraph hg;
+  hg.vertex_weights = {2, 3, 5};
+  hg.edges = {Hyperedge{{0, 1}, 4}, Hyperedge{{1, 2}, 6}};
+  EXPECT_EQ(hg.vertex_count(), 3);
+  EXPECT_EQ(hg.total_vertex_weight(), 10);
+  EXPECT_EQ(hg.total_edge_weight(), 10);
+}
+
+TEST(Hypergraph, NormalizeMergesDuplicatesAndSorts) {
+  Hypergraph hg;
+  hg.vertex_weights = {1, 1, 1};
+  hg.edges = {Hyperedge{{2, 0}, 3}, Hyperedge{{0, 2}, 4},
+              Hyperedge{{1, 1, 0}, 2}, Hyperedge{{}, 7}};
+  hg.normalize();
+  ASSERT_EQ(hg.edges.size(), 2u);
+  // {0,1} weight 2 and {0,2} weight 7, in pin order.
+  EXPECT_EQ(hg.edges[0].pins, (std::vector<int>{0, 1}));
+  EXPECT_EQ(hg.edges[0].weight, 2);
+  EXPECT_EQ(hg.edges[1].pins, (std::vector<int>{0, 2}));
+  EXPECT_EQ(hg.edges[1].weight, 7);
+  EXPECT_NO_THROW(hg.validate());
+}
+
+TEST(Hypergraph, ValidateRejectsBadPins) {
+  Hypergraph hg;
+  hg.vertex_weights = {1, 1};
+  hg.edges = {Hyperedge{{0, 5}, 1}};
+  EXPECT_THROW(hg.validate(), std::invalid_argument);
+  hg.edges = {Hyperedge{{1, 0}, 1}};  // unsorted
+  EXPECT_THROW(hg.validate(), std::invalid_argument);
+  hg.edges = {Hyperedge{{0, 1}, 0}};  // non-positive weight
+  EXPECT_THROW(hg.validate(), std::invalid_argument);
+  hg.edges = {Hyperedge{{}, 1}};  // empty
+  EXPECT_THROW(hg.validate(), std::invalid_argument);
+}
+
+TEST(Partition, CutMetrics) {
+  const Hypergraph hg = path_graph(4);
+  Partition p;
+  p.parts = 2;
+  p.part_of = {0, 0, 1, 1};
+  EXPECT_EQ(p.cut_weight(hg), 1);  // only edge 1-2 crosses
+  EXPECT_EQ(p.cut_edges(hg), 1);
+  EXPECT_EQ(p.part_weights(hg), (std::vector<std::int64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(p.imbalance(hg), 0.0);
+}
+
+TEST(Partition, ImbalanceReflectsHeaviestPart) {
+  const Hypergraph hg = path_graph(4);
+  Partition p;
+  p.parts = 2;
+  p.part_of = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(p.imbalance(hg), 0.5);  // 3 / 2 - 1
+}
+
+TEST(PartitionHypergraph, KEqualsOneIsTrivial) {
+  const Hypergraph hg = path_graph(6);
+  const Partition p = partition_hypergraph(hg, 1);
+  for (const int part : p.part_of) EXPECT_EQ(part, 0);
+  EXPECT_EQ(p.cut_weight(hg), 0);
+}
+
+TEST(PartitionHypergraph, KAtLeastVerticesGivesSingletons) {
+  const Hypergraph hg = path_graph(4);
+  const Partition p = partition_hypergraph(hg, 7);
+  std::set<int> parts(p.part_of.begin(), p.part_of.end());
+  EXPECT_EQ(parts.size(), 4u);
+}
+
+TEST(PartitionHypergraph, RejectsBadK) {
+  const Hypergraph hg = path_graph(4);
+  EXPECT_THROW((void)partition_hypergraph(hg, 0), std::invalid_argument);
+}
+
+TEST(PartitionHypergraph, PathBisectionCutsOneEdge) {
+  // The optimal bisection of an even path cuts exactly one edge.
+  const Hypergraph hg = path_graph(8);
+  const Partition p = partition_hypergraph(hg, 2);
+  EXPECT_EQ(p.cut_weight(hg), 1);
+  const auto weights = p.part_weights(hg);
+  EXPECT_EQ(weights[0], 4);
+  EXPECT_EQ(weights[1], 4);
+}
+
+TEST(PartitionHypergraph, TwoCliquesSplitCleanly) {
+  // Two 4-vertex "clusters" (dense pairwise edges) joined by one weak edge:
+  // the partitioner must cut only the bridge.
+  Hypergraph hg;
+  hg.vertex_weights.assign(8, 1);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      hg.edges.push_back(Hyperedge{{a, b}, 10});
+      hg.edges.push_back(Hyperedge{{a + 4, b + 4}, 10});
+    }
+  }
+  hg.edges.push_back(Hyperedge{{3, 4}, 1});
+  const Partition p = partition_hypergraph(hg, 2);
+  EXPECT_EQ(p.cut_weight(hg), 1);
+}
+
+TEST(PartitionHypergraph, Fig2StyleInstance) {
+  // The paper's Fig. 2: 8 cores, hyperedges = care-core sets; a good
+  // 2-way partition leaves only the 7-4-6 edge cut. Two tight groups
+  // {1,2,3,7} and {4,5,6,8} (1-based) plus the bridging hyperedge 7-4-6.
+  Hypergraph hg;
+  hg.vertex_weights.assign(8, 1);
+  hg.edges = {
+      Hyperedge{{0, 1}, 5},    Hyperedge{{1, 2}, 5},
+      Hyperedge{{0, 2, 6}, 5}, Hyperedge{{1, 6}, 5},
+      Hyperedge{{3, 4}, 5},    Hyperedge{{4, 5}, 5},
+      Hyperedge{{3, 5, 7}, 5}, Hyperedge{{4, 7}, 5},
+      Hyperedge{{3, 5, 6}, 1},  // the cut edge (7-4-6 in the figure)
+  };
+  hg.normalize();
+  const Partition p = partition_hypergraph(hg, 2);
+  EXPECT_EQ(p.cut_weight(hg), 1);
+  // The two groups end up in different parts.
+  EXPECT_EQ(p.part_of[0], p.part_of[1]);
+  EXPECT_EQ(p.part_of[1], p.part_of[2]);
+  EXPECT_EQ(p.part_of[2], p.part_of[6]);
+  EXPECT_EQ(p.part_of[3], p.part_of[4]);
+  EXPECT_EQ(p.part_of[4], p.part_of[5]);
+  EXPECT_EQ(p.part_of[5], p.part_of[7]);
+  EXPECT_NE(p.part_of[0], p.part_of[3]);
+}
+
+TEST(PartitionHypergraph, DeterministicForFixedSeed) {
+  const Hypergraph hg = path_graph(20);
+  PartitionConfig config;
+  config.seed = 99;
+  const Partition a = partition_hypergraph(hg, 4, config);
+  const Partition b = partition_hypergraph(hg, 4, config);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(PartitionHypergraph, HeavyVertexNeverSplitsInfeasibly) {
+  // One vertex carries almost all the weight; balance must degrade
+  // gracefully instead of failing.
+  Hypergraph hg;
+  hg.vertex_weights = {100, 1, 1, 1};
+  hg.edges = {Hyperedge{{0, 1}, 1}, Hyperedge{{1, 2}, 1},
+              Hyperedge{{2, 3}, 1}};
+  const Partition p = partition_hypergraph(hg, 2);
+  EXPECT_EQ(p.parts, 2);
+  // All four vertices assigned to a valid part.
+  for (const int part : p.part_of) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 2);
+  }
+}
+
+struct RandomPartitionCase {
+  int vertices;
+  int edges;
+  int max_pins;
+  int k;
+  std::uint64_t seed;
+};
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<RandomPartitionCase> {
+ protected:
+  Hypergraph random_graph(const RandomPartitionCase& c, Rng& rng) const {
+    Hypergraph hg;
+    hg.vertex_weights.resize(static_cast<std::size_t>(c.vertices));
+    for (auto& w : hg.vertex_weights) {
+      w = static_cast<std::int64_t>(rng.uniform(1, 20));
+    }
+    for (int e = 0; e < c.edges; ++e) {
+      const int pins = static_cast<int>(
+          rng.uniform(2, static_cast<std::uint64_t>(c.max_pins)));
+      Hyperedge edge;
+      for (const auto v : rng.sample_indices(
+               static_cast<std::size_t>(c.vertices),
+               static_cast<std::size_t>(
+                   std::min(pins, c.vertices)))) {
+        edge.pins.push_back(static_cast<int>(v));
+      }
+      edge.weight = static_cast<std::int64_t>(rng.uniform(1, 10));
+      hg.edges.push_back(std::move(edge));
+    }
+    hg.normalize();
+    return hg;
+  }
+};
+
+TEST_P(PartitionPropertyTest, ProducesValidBalancedPartitions) {
+  const RandomPartitionCase c = GetParam();
+  Rng rng(c.seed);
+  const Hypergraph hg = random_graph(c, rng);
+  const Partition p = partition_hypergraph(hg, c.k);
+
+  ASSERT_EQ(p.part_of.size(), hg.vertex_weights.size());
+  EXPECT_EQ(p.parts, c.k);
+  for (const int part : p.part_of) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, c.k);
+  }
+  // Cut is conservative: no more than the total edge weight.
+  EXPECT_LE(p.cut_weight(hg), hg.total_edge_weight());
+  // Balance: no part heavier than the proportional target + tolerance +
+  // the heaviest single vertex (hard feasibility floor).
+  const std::int64_t max_vertex = *std::max_element(
+      hg.vertex_weights.begin(), hg.vertex_weights.end());
+  const double target =
+      static_cast<double>(hg.total_vertex_weight()) / c.k;
+  const auto weights = p.part_weights(hg);
+  for (const auto w : weights) {
+    EXPECT_LE(static_cast<double>(w), 1.35 * target + 2.0 * max_vertex);
+  }
+}
+
+TEST_P(PartitionPropertyTest, MorePartsNeverDecreaseCut) {
+  const RandomPartitionCase c = GetParam();
+  if (c.k < 4) GTEST_SKIP();
+  Rng rng(c.seed);
+  const Hypergraph hg = random_graph(c, rng);
+  const Partition coarse = partition_hypergraph(hg, 2);
+  const Partition fine = partition_hypergraph(hg, c.k);
+  // Statistically reliable on these instances (finer partitions cut more).
+  EXPECT_LE(coarse.cut_weight(hg), fine.cut_weight(hg));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, PartitionPropertyTest,
+    ::testing::Values(RandomPartitionCase{10, 30, 4, 2, 11},
+                      RandomPartitionCase{19, 80, 5, 4, 22},
+                      RandomPartitionCase{32, 150, 6, 8, 33},
+                      RandomPartitionCase{64, 300, 4, 4, 44},
+                      RandomPartitionCase{200, 900, 5, 8, 55},
+                      RandomPartitionCase{500, 2500, 4, 2, 66}));
+
+TEST(PartitionHypergraph, CoarseningHandlesLargeInstances) {
+  // 2000 vertices forces several coarsening levels.
+  Rng rng(77);
+  Hypergraph hg;
+  hg.vertex_weights.assign(2000, 1);
+  for (int i = 0; i + 1 < 2000; ++i) {
+    hg.edges.push_back(Hyperedge{{i, i + 1}, 1});
+  }
+  // A few long-range edges.
+  for (int i = 0; i < 100; ++i) {
+    const int a = static_cast<int>(rng.below(2000));
+    const int b = static_cast<int>(rng.below(2000));
+    if (a != b) {
+      hg.edges.push_back(Hyperedge{{std::min(a, b), std::max(a, b)}, 1});
+    }
+  }
+  hg.normalize();
+  const Partition p = partition_hypergraph(hg, 2);
+  // A path of 2000 with noise should still cut only a tiny fraction.
+  EXPECT_LT(p.cut_weight(hg), 60);
+}
+
+}  // namespace
+}  // namespace sitam

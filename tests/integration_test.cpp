@@ -1,0 +1,122 @@
+// Cross-module integration tests: the full §5 pipeline (generate ->
+// compact 2-D -> optimize -> schedule) on real benchmark SOCs, checking the
+// paper's qualitative claims end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/flow.h"
+#include "pattern/compaction.h"
+#include "pattern/generator.h"
+#include "sitest/group.h"
+#include "soc/benchmarks.h"
+#include "tam/optimizer.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+TEST(Integration, D695EndToEnd) {
+  const Soc soc = load_benchmark("d695");
+  SiWorkloadConfig config;
+  config.pattern_count = 1500;
+  config.seed = 7;
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const ExperimentOutcome outcome = run_experiment(workload, 16);
+
+  // Every grouping's architecture is a valid full-width TestRail design.
+  for (const OptimizeResult& result : outcome.per_grouping) {
+    EXPECT_EQ(result.architecture.total_width(), 16);
+    EXPECT_NO_THROW(result.architecture.validate(soc.core_count()));
+    EXPECT_GT(result.evaluation.t_si, 0);
+  }
+  EXPECT_LE(outcome.t_min, outcome.per_grouping[0].evaluation.t_soc);
+}
+
+TEST(Integration, SiAwareOptimizerBeatsBaselineOnHeavySiLoad) {
+  // With a heavy SI workload, ignoring SI during TAM design must cost
+  // real test time — the central claim of the paper.
+  const Soc soc = load_benchmark("p34392");
+  SiWorkloadConfig config;
+  config.pattern_count = 20000;
+  config.seed = 11;
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const ExperimentOutcome outcome = run_experiment(workload, 48);
+  EXPECT_GT(outcome.delta_baseline_pct(), 0.0);
+}
+
+TEST(Integration, LargerWorkloadsRaiseSiShare) {
+  const Soc soc = load_benchmark("p93791");
+  SiWorkloadConfig small;
+  small.pattern_count = 2000;
+  small.groupings = {1};
+  SiWorkloadConfig large = small;
+  large.pattern_count = 20000;
+  const SiWorkload ws = SiWorkload::prepare(soc, small);
+  const SiWorkload wl = SiWorkload::prepare(soc, large);
+  const auto rs = run_experiment(ws, 32);
+  const auto rl = run_experiment(wl, 32);
+  EXPECT_GT(rl.per_grouping[0].evaluation.t_si,
+            rs.per_grouping[0].evaluation.t_si);
+}
+
+TEST(Integration, GroupedTestSetsScheduleInParallel) {
+  // With i > 1 the per-group SI tests occupy disjoint rail subsets part of
+  // the time; the schedule must exploit that (t_si < serial sum) whenever
+  // any two scheduled items overlap.
+  const Soc soc = load_benchmark("p93791");
+  SiWorkloadConfig config;
+  config.pattern_count = 5000;
+  config.groupings = {4};
+  config.seed = 13;
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const auto outcome = run_experiment(workload, 32);
+  const Evaluation& ev = outcome.per_grouping[0].evaluation;
+  std::int64_t serial = 0;
+  for (const auto& item : ev.schedule.items) serial += item.duration;
+  EXPECT_LE(ev.t_si, serial);
+}
+
+TEST(Integration, CompactionSoundnessOnFullPipelineScale) {
+  const Soc soc = load_benchmark("p34392");
+  const TerminalSpace ts(soc);
+  Rng rng(17);
+  const RandomPatternConfig config;
+  const auto patterns = generate_random_patterns(ts, 5000, config, rng);
+  const auto compacted =
+      compact_greedy(patterns, ts.total(), config.bus_width);
+  EXPECT_EQ(first_uncovered(patterns, compacted.patterns), -1);
+  EXPECT_LT(compacted.patterns.size(), patterns.size());
+}
+
+TEST(Integration, WiderTamsReduceTotalTime) {
+  const Soc soc = load_benchmark("p93791");
+  SiWorkloadConfig config;
+  config.pattern_count = 5000;
+  config.groupings = {1, 4};
+  config.seed = 19;
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const auto narrow = run_experiment(workload, 8);
+  const auto wide = run_experiment(workload, 64);
+  EXPECT_LT(wide.t_min, narrow.t_min / 3);
+}
+
+TEST(Integration, MiniSweepIsReproducible) {
+  const Soc soc = load_benchmark("d695");
+  SiWorkloadConfig config;
+  config.pattern_count = 1000;
+  config.groupings = {1, 2};
+  config.seed = 23;
+  const SiWorkload w1 = SiWorkload::prepare(soc, config);
+  const SiWorkload w2 = SiWorkload::prepare(soc, config);
+  const auto s1 = run_sweep(w1, {8, 16});
+  const auto s2 = run_sweep(w2, {8, 16});
+  ASSERT_EQ(s1.rows.size(), s2.rows.size());
+  for (std::size_t i = 0; i < s1.rows.size(); ++i) {
+    EXPECT_EQ(s1.rows[i].t_baseline, s2.rows[i].t_baseline);
+    EXPECT_EQ(s1.rows[i].t_min, s2.rows[i].t_min);
+  }
+}
+
+}  // namespace
+}  // namespace sitam

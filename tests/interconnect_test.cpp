@@ -1,0 +1,194 @@
+// Tests for src/interconnect: terminal-space addressing and topology
+// generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interconnect/terminal_space.h"
+#include "interconnect/topology.h"
+#include "soc/benchmarks.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+TEST(TerminalSpace, TotalsMatchSocWoc) {
+  for (const char* name : {"d695", "p34392", "p93791", "mini5"}) {
+    const Soc soc = load_benchmark(name);
+    const TerminalSpace ts(soc);
+    EXPECT_EQ(ts.total(), soc.total_woc()) << name;
+    EXPECT_EQ(ts.core_count(), soc.core_count()) << name;
+  }
+}
+
+TEST(TerminalSpace, RoundTripAllTerminals) {
+  const Soc soc = load_benchmark("mini5");
+  const TerminalSpace ts(soc);
+  for (int t = 0; t < ts.total(); ++t) {
+    const int core = ts.core_of(t);
+    const int bit = ts.bit_of(t);
+    EXPECT_EQ(ts.terminal(core, bit), t);
+    EXPECT_GE(bit, 0);
+    EXPECT_LT(bit, ts.woc(core));
+  }
+}
+
+TEST(TerminalSpace, RangesAreContiguousAndDisjoint) {
+  const Soc soc = load_benchmark("d695");
+  const TerminalSpace ts(soc);
+  int expected_first = 0;
+  for (int c = 0; c < ts.core_count(); ++c) {
+    EXPECT_EQ(ts.first_terminal(c), expected_first);
+    EXPECT_EQ(ts.woc(c), soc.modules[static_cast<std::size_t>(c)].woc());
+    expected_first += ts.woc(c);
+  }
+  EXPECT_EQ(expected_first, ts.total());
+}
+
+TEST(TerminalSpace, BidirsContribute) {
+  const Soc soc = load_benchmark("p93791");
+  const TerminalSpace ts(soc);
+  // core1 has 32 outputs + 72 bidirs.
+  EXPECT_EQ(ts.woc(0), 104);
+}
+
+TEST(TerminalSpace, ThrowsOnBadIds) {
+  const Soc soc = load_benchmark("mini5");
+  const TerminalSpace ts(soc);
+  EXPECT_THROW((void)ts.core_of(-1), std::out_of_range);
+  EXPECT_THROW((void)ts.core_of(ts.total()), std::out_of_range);
+  EXPECT_THROW((void)ts.woc(99), std::out_of_range);
+  EXPECT_THROW((void)ts.terminal(0, 10000), std::out_of_range);
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  Soc soc_ = load_benchmark("mini5");
+  TerminalSpace ts_{soc_};
+};
+
+TEST_F(TopologyTest, GeneratesNetsForEveryCore) {
+  Rng rng(5);
+  const Topology topo = generate_topology(ts_, TopologyConfig{}, rng);
+  ASSERT_FALSE(topo.nets.empty());
+  std::set<int> senders;
+  for (const Net& net : topo.nets) {
+    senders.insert(ts_.core_of(net.driver_terminal));
+    EXPECT_NE(ts_.core_of(net.driver_terminal), net.receiver_core);
+    EXPECT_GE(net.receiver_core, 0);
+    EXPECT_LT(net.receiver_core, soc_.core_count());
+  }
+  EXPECT_EQ(static_cast<int>(senders.size()), soc_.core_count());
+}
+
+TEST_F(TopologyTest, IdsMatchRoutingPositions) {
+  Rng rng(6);
+  const Topology topo = generate_topology(ts_, TopologyConfig{}, rng);
+  for (std::size_t i = 0; i < topo.nets.size(); ++i) {
+    EXPECT_EQ(topo.nets[i].id, static_cast<int>(i));
+  }
+}
+
+TEST_F(TopologyTest, DeterministicGivenSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  const Topology a = generate_topology(ts_, TopologyConfig{}, rng1);
+  const Topology b = generate_topology(ts_, TopologyConfig{}, rng2);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].driver_terminal, b.nets[i].driver_terminal);
+    EXPECT_EQ(a.nets[i].receiver_core, b.nets[i].receiver_core);
+  }
+}
+
+TEST_F(TopologyTest, BusConfigurable) {
+  Rng rng(8);
+  TopologyConfig config;
+  config.with_bus = false;
+  EXPECT_FALSE(generate_topology(ts_, config, rng).bus.has_value());
+  config.with_bus = true;
+  config.bus_width = 16;
+  const Topology topo = generate_topology(ts_, config, rng);
+  ASSERT_TRUE(topo.bus.has_value());
+  EXPECT_EQ(topo.bus->width, 16);
+  EXPECT_EQ(static_cast<int>(topo.bus->connected_cores.size()),
+            soc_.core_count());
+}
+
+TEST_F(TopologyTest, NeighborsRespectWindow) {
+  Rng rng(9);
+  const Topology topo = generate_topology(ts_, TopologyConfig{}, rng);
+  const int mid = static_cast<int>(topo.nets.size()) / 2;
+  const auto neighbors = topo.neighbors(mid, 3);
+  EXPECT_LE(neighbors.size(), 6u);
+  for (const int n : neighbors) {
+    EXPECT_NE(n, mid);
+    EXPECT_LE(std::abs(n - mid), 3);
+  }
+}
+
+TEST_F(TopologyTest, NeighborsClippedAtEnds) {
+  Rng rng(10);
+  const Topology topo = generate_topology(ts_, TopologyConfig{}, rng);
+  const auto first = topo.neighbors(0, 4);
+  EXPECT_LE(first.size(), 4u);
+  for (const int n : first) EXPECT_GT(n, 0);
+}
+
+TEST_F(TopologyTest, NeighborsZeroWindowIsEmpty) {
+  Rng rng(11);
+  const Topology topo = generate_topology(ts_, TopologyConfig{}, rng);
+  EXPECT_TRUE(topo.neighbors(0, 0).empty());
+}
+
+TEST_F(TopologyTest, NeighborErrors) {
+  Rng rng(12);
+  const Topology topo = generate_topology(ts_, TopologyConfig{}, rng);
+  EXPECT_THROW((void)topo.neighbors(-1, 2), std::out_of_range);
+  EXPECT_THROW((void)topo.neighbors(static_cast<int>(topo.nets.size()), 2),
+               std::out_of_range);
+  EXPECT_THROW((void)topo.neighbors(0, -1), std::invalid_argument);
+}
+
+TEST_F(TopologyTest, RejectsBadConfig) {
+  Rng rng(13);
+  TopologyConfig config;
+  config.fanout = 0;
+  EXPECT_THROW((void)generate_topology(ts_, config, rng),
+               std::invalid_argument);
+  config.fanout = 2;
+  config.wires_per_link = 0;
+  EXPECT_THROW((void)generate_topology(ts_, config, rng),
+               std::invalid_argument);
+}
+
+TEST(Topology, RejectsSingleCoreSoc) {
+  Soc soc;
+  soc.name = "one";
+  Module m;
+  m.id = 1;
+  m.name = "solo";
+  m.inputs = 1;
+  m.outputs = 4;
+  m.patterns = 1;
+  soc.modules = {m};
+  const TerminalSpace ts(soc);
+  Rng rng(14);
+  EXPECT_THROW((void)generate_topology(ts, TopologyConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TopologyTest, FanoutScalesNetCount) {
+  Rng rng1(15);
+  Rng rng2(15);
+  TopologyConfig narrow;
+  narrow.fanout = 1.0;
+  TopologyConfig wide;
+  wide.fanout = 3.0;
+  const auto a = generate_topology(ts_, narrow, rng1);
+  const auto b = generate_topology(ts_, wide, rng2);
+  EXPECT_GT(b.nets.size(), a.nets.size());
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,137 @@
+// Tests for pattern-set and SI-test-set text serialization.
+#include <gtest/gtest.h>
+
+#include "interconnect/terminal_space.h"
+#include "pattern/generator.h"
+#include "pattern/io.h"
+#include "sitest/io.h"
+#include "soc/benchmarks.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+TEST(PatternIo, RoundTripsHandMadePatterns) {
+  std::vector<SiPattern> patterns(3);
+  patterns[0].set(3, SigValue::kRise);
+  patterns[0].set(7, SigValue::kFall);
+  patterns[0].set(12, SigValue::kStable0);
+  patterns[0].set_bus(2, 5);
+  patterns[1].set(0, SigValue::kStable1);
+  // patterns[2] stays empty.
+
+  const std::string text = patterns_to_text(patterns, 20, 8);
+  const ParsedPatterns parsed = patterns_from_text(text);
+  EXPECT_EQ(parsed.total_terminals, 20);
+  EXPECT_EQ(parsed.bus_width, 8);
+  ASSERT_EQ(parsed.patterns.size(), 3u);
+  EXPECT_EQ(parsed.patterns[0], patterns[0]);
+  EXPECT_EQ(parsed.patterns[1], patterns[1]);
+  EXPECT_EQ(parsed.patterns[2], patterns[2]);
+}
+
+TEST(PatternIo, RoundTripsGeneratedWorkload) {
+  const Soc soc = load_benchmark("d695");
+  const TerminalSpace ts(soc);
+  Rng rng(3);
+  const RandomPatternConfig config;
+  const auto patterns = generate_random_patterns(ts, 500, config, rng);
+  const std::string text =
+      patterns_to_text(patterns, ts.total(), config.bus_width);
+  const ParsedPatterns parsed = patterns_from_text(text);
+  ASSERT_EQ(parsed.patterns.size(), patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_EQ(parsed.patterns[i], patterns[i]) << "pattern " << i;
+  }
+}
+
+TEST(PatternIo, FormatIsStable) {
+  std::vector<SiPattern> patterns(1);
+  patterns[0].set(3, SigValue::kRise);
+  patterns[0].set(5, SigValue::kStable1);
+  patterns[0].set_bus(1, 4);
+  EXPECT_EQ(patterns_to_text(patterns, 10, 4),
+            "SiPatterns terminals=10 bus=4 count=1\n3r 5:1 | 1@4\n");
+}
+
+TEST(PatternIo, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)patterns_from_text(""), std::runtime_error);
+  EXPECT_THROW((void)patterns_from_text("bogus\n"), std::runtime_error);
+  EXPECT_THROW(
+      (void)patterns_from_text("SiPatterns terminals=5 bus=2 count=1\n"),
+      std::runtime_error);  // count mismatch
+  EXPECT_THROW(
+      (void)patterns_from_text(
+          "SiPatterns terminals=5 bus=2 count=1\n9r\n"),
+      std::runtime_error);  // terminal out of range
+  EXPECT_THROW(
+      (void)patterns_from_text(
+          "SiPatterns terminals=5 bus=2 count=1\n3z\n"),
+      std::runtime_error);  // bad code
+  EXPECT_THROW(
+      (void)patterns_from_text(
+          "SiPatterns terminals=5 bus=2 count=1\n| 3-4\n"),
+      std::runtime_error);  // bad bus token
+  EXPECT_THROW(
+      (void)patterns_from_text("SiPatterns terminals=5 count=1\n1r\n"),
+      std::runtime_error);  // missing bus field
+}
+
+TEST(TestSetIo, RoundTrips) {
+  SiTestSet set;
+  set.parts = 4;
+  SiTestGroup g1;
+  g1.label = "g1";
+  g1.cores = {0, 2, 5};
+  g1.patterns = 123;
+  g1.raw_patterns = 4567;
+  g1.power = 88;
+  SiTestGroup rem;
+  rem.label = "rem";
+  rem.cores = {0, 1, 2, 3, 4, 5};
+  rem.patterns = 45;
+  rem.raw_patterns = 99;
+  rem.is_remainder = true;
+  set.groups = {g1, rem};
+
+  const SiTestSet parsed = test_set_from_text(test_set_to_text(set));
+  EXPECT_EQ(parsed.parts, 4);
+  ASSERT_EQ(parsed.groups.size(), 2u);
+  EXPECT_EQ(parsed.groups[0].label, "g1");
+  EXPECT_EQ(parsed.groups[0].cores, g1.cores);
+  EXPECT_EQ(parsed.groups[0].patterns, 123);
+  EXPECT_EQ(parsed.groups[0].raw_patterns, 4567);
+  EXPECT_EQ(parsed.groups[0].power, 88);
+  EXPECT_FALSE(parsed.groups[0].is_remainder);
+  EXPECT_TRUE(parsed.groups[1].is_remainder);
+  EXPECT_EQ(parsed.groups[1].cores.size(), 6u);
+}
+
+TEST(TestSetIo, RoundTripsRealGrouping) {
+  const Soc soc = load_benchmark("p34392");
+  const TerminalSpace ts(soc);
+  Rng rng(9);
+  const auto patterns =
+      generate_random_patterns(ts, 2000, RandomPatternConfig{}, rng);
+  const SiTestSet set = build_si_test_set(patterns, ts, 4, GroupingConfig{});
+  const SiTestSet parsed = test_set_from_text(test_set_to_text(set));
+  EXPECT_EQ(parsed.parts, set.parts);
+  ASSERT_EQ(parsed.groups.size(), set.groups.size());
+  EXPECT_EQ(parsed.total_patterns(), set.total_patterns());
+  EXPECT_EQ(parsed.total_raw_patterns(), set.total_raw_patterns());
+}
+
+TEST(TestSetIo, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)test_set_from_text(""), std::runtime_error);
+  EXPECT_THROW((void)test_set_from_text("nope\n"), std::runtime_error);
+  EXPECT_THROW((void)test_set_from_text("SiTestSet parts=1 groups=1\n"),
+               std::runtime_error);  // group count mismatch
+  EXPECT_THROW(
+      (void)test_set_from_text("SiTestSet parts=1 groups=1\n"
+                               "group g1 remainder=0 patterns=1 raw=1 "
+                               "power=0\n"),
+      std::runtime_error);  // missing cores=
+}
+
+}  // namespace
+}  // namespace sitam

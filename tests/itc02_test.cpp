@@ -1,0 +1,148 @@
+// Tests for the ITC'02 benchmark-format compatibility parser.
+#include <gtest/gtest.h>
+
+#include "soc/itc02.h"
+
+namespace sitam {
+namespace {
+
+constexpr const char* kSample = R"(# ITC'02 style file
+SocName demo
+TotalModules 4
+
+Module 0
+  Level 0
+  Inputs 10
+  Outputs 12
+  Bidirs 0
+  ScanChains 0
+  TotalTests 1
+  Test 1
+    TamUse yes
+    ScanUse no
+    TestPatterns 7
+
+Module 1
+  Level 1
+  Inputs 109
+  Outputs 32
+  Bidirs 72
+  ScanChains 3 : 168 160 150
+  TotalTests 1
+  Test 1
+    TamUse yes
+    ScanUse yes
+    TestPatterns 409
+
+Module 2
+  Level 1
+  Inputs 5
+  Outputs 8
+  Bidirs 0
+  ScanChains 0
+  TotalTests 2
+  Test 1
+    TamUse yes
+    ScanUse no
+    TestPatterns 30
+  Test 2
+    TamUse yes
+    ScanUse no
+    TestPatterns 12
+
+Module 3
+  Level 2
+  Inputs 0
+  Outputs 0
+  Bidirs 0
+  ScanChains 0
+  TotalTests 1
+  Test 1
+    TamUse no
+    ScanUse no
+    TestPatterns 3
+)";
+
+TEST(Itc02Parser, ParsesAndFlattens) {
+  const Soc soc = parse_itc02(kSample);
+  EXPECT_EQ(soc.name, "demo");
+  // Module 0 (level 0) dropped; module 3 (no terminals) dropped.
+  ASSERT_EQ(soc.modules.size(), 2u);
+  const Module& m1 = soc.modules[0];
+  EXPECT_EQ(m1.id, 2);  // ITC'02 id 1 -> our 1-based 2
+  EXPECT_EQ(m1.inputs, 109);
+  EXPECT_EQ(m1.outputs, 32);
+  EXPECT_EQ(m1.bidirs, 72);
+  ASSERT_EQ(m1.scan_chains.size(), 3u);
+  EXPECT_EQ(m1.scan_chains[0], 168);
+  EXPECT_EQ(m1.patterns, 409);
+}
+
+TEST(Itc02Parser, SumsMultipleTests) {
+  const Soc soc = parse_itc02(kSample);
+  // Module 2 has two test sets: 30 + 12 patterns.
+  EXPECT_EQ(soc.modules[1].patterns, 42);
+}
+
+TEST(Itc02Parser, TamUseNoBecomesBistCycles) {
+  const Soc soc = parse_itc02(
+      "SocName b\n"
+      "Module 1\n Level 1\n Inputs 4\n Outputs 4\n Bidirs 0\n"
+      " ScanChains 1 : 30\n"
+      " TotalTests 2\n"
+      " Test 1\n  TamUse yes\n  ScanUse yes\n  TestPatterns 100\n"
+      " Test 2\n  TamUse no\n  ScanUse no\n  TestPatterns 5000\n");
+  ASSERT_EQ(soc.modules.size(), 1u);
+  EXPECT_EQ(soc.modules[0].patterns, 100);
+  EXPECT_EQ(soc.modules[0].bist_patterns, 5000);
+}
+
+TEST(Itc02Parser, SkipsUnknownDirectivesWithArguments) {
+  const Soc soc = parse_itc02(
+      "SocName x\n"
+      "Options 1 2 3\n"
+      "Module 1\n Level 1\n Inputs 2\n Outputs 2\n Bidirs 0\n"
+      " ScanChains 1 : 20\n TestPatterns 5\n");
+  ASSERT_EQ(soc.modules.size(), 1u);
+  EXPECT_EQ(soc.modules[0].patterns, 5);
+}
+
+TEST(Itc02Parser, AcceptsCompactOneLineModules) {
+  const Soc soc = parse_itc02(
+      "SocName y\n"
+      "Module 1 Level 1 Inputs 3 Outputs 4 Bidirs 1 ScanChains 2 : 7 9 "
+      "TestPatterns 11\n");
+  ASSERT_EQ(soc.modules.size(), 1u);
+  EXPECT_EQ(soc.modules[0].wic(), 4);
+  EXPECT_EQ(soc.modules[0].scan_flops(), 16);
+}
+
+TEST(Itc02Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_itc02("SocName z\nModule 1\nLevel 1\nInputs abc\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(Itc02Parser, RejectsStructuralProblems) {
+  EXPECT_THROW((void)parse_itc02(""), std::runtime_error);
+  EXPECT_THROW((void)parse_itc02("SocName x\n"), std::runtime_error);
+  // Directive outside a module.
+  EXPECT_THROW((void)parse_itc02("SocName x\nInputs 3\n"),
+               std::runtime_error);
+  // ScanChains count without list.
+  EXPECT_THROW(
+      (void)parse_itc02("SocName x\nModule 1\nLevel 1\nInputs 1\n"
+                        "Outputs 1\nScanChains 2\nTestPatterns 1\n"),
+      std::runtime_error);
+}
+
+TEST(Itc02Parser, MissingFileThrows) {
+  EXPECT_THROW((void)load_itc02_file("/nonexistent/path.soc"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sitam

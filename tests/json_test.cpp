@@ -1,0 +1,114 @@
+// Tests for the streaming JSON writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.h"
+
+namespace sitam {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray) {
+  JsonWriter w;
+  w.begin_array().end_array();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonWriter, ScalarsAndCommas) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("a", std::int64_t{1})
+      .kv("b", "two")
+      .kv("c", 2.5)
+      .kv("d", true)
+      .key("e")
+      .null()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":2.5,"d":true,"e":null})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter w;
+  w.begin_object().key("rows").begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object().kv("i", std::int64_t{i}).end_object();
+  }
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"i":0},{"i":1}]})");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter w;
+  w.begin_array().value(std::int64_t{1}).value(std::int64_t{2}).value(
+      std::int64_t{3});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object().kv("s", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), R"({"s":"a\"b\\c\nd\te"})");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  JsonWriter w;
+  std::string text = "x";
+  text += '\x01';
+  w.begin_array().value(text).end_array();
+  EXPECT_EQ(w.str(), "[\"x\\u0001\"]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  JsonWriter w;
+  w.value(std::int64_t{42});
+  EXPECT_EQ(w.str(), "42");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(std::int64_t{1}), std::logic_error);  // no key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("k");
+    EXPECT_THROW(w.key("again"), std::logic_error);  // key after key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched scope
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // incomplete
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,149 @@
+// Tests for the wrapper Pareto analysis and the Gantt renderers.
+#include <gtest/gtest.h>
+
+#include "core/gantt.h"
+#include "soc/benchmarks.h"
+#include "tam/evaluator.h"
+#include "wrapper/design.h"
+#include "wrapper/pareto.h"
+
+namespace sitam {
+namespace {
+
+TEST(Pareto, PointsAreStrictlyImproving) {
+  const Soc soc = load_benchmark("p93791");
+  for (const Module& m : soc.modules) {
+    const auto points = pareto_points(m, 64);
+    ASSERT_FALSE(points.empty()) << m.name;
+    EXPECT_EQ(points.front().width, 1);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_GT(points[i].width, points[i - 1].width);
+      EXPECT_LT(points[i].time, points[i - 1].time);
+    }
+  }
+}
+
+TEST(Pareto, PointsMatchDirectTimes) {
+  const Soc soc = load_benchmark("d695");
+  const Module& m = soc.module_by_id(10);  // s38417
+  for (const ParetoPoint& point : pareto_points(m, 40)) {
+    EXPECT_EQ(point.time, intest_time(m, point.width));
+  }
+}
+
+TEST(Pareto, BetweenPointsTimeIsFlat) {
+  const Soc soc = load_benchmark("d695");
+  const Module& m = soc.module_by_id(9);  // s35932, 32 equal chains
+  const auto points = pareto_points(m, 48);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    for (int w = points[i].width; w < points[i + 1].width; ++w) {
+      EXPECT_EQ(intest_time(m, w), points[i].time) << "w=" << w;
+    }
+  }
+}
+
+TEST(Pareto, CombinationalCoreSaturatesAtBoundary) {
+  const Soc soc = load_benchmark("d695");
+  const Module& m = soc.module_by_id(1);  // c6288, no scan
+  const auto points = pareto_points(m, 128);
+  // Beyond max(wic, woc) wires, nothing can improve.
+  EXPECT_LE(points.back().width, std::max(m.wic(), m.woc()));
+}
+
+TEST(Pareto, SocWidthsAreUnionOfCoreWidths) {
+  const Soc soc = load_benchmark("mini5");
+  const auto widths = soc_pareto_widths(soc, 16);
+  EXPECT_FALSE(widths.empty());
+  EXPECT_EQ(widths.front(), 1);
+  EXPECT_TRUE(std::is_sorted(widths.begin(), widths.end()));
+  EXPECT_LE(widths.back(), 16);
+  // Union property: every core's pareto widths are included.
+  for (const Module& m : soc.modules) {
+    for (const ParetoPoint& p : pareto_points(m, 16)) {
+      EXPECT_TRUE(std::binary_search(widths.begin(), widths.end(), p.width));
+    }
+  }
+}
+
+TEST(Pareto, RejectsBadWidth) {
+  const Soc soc = load_benchmark("mini5");
+  EXPECT_THROW((void)pareto_points(soc.modules[0], 0),
+               std::invalid_argument);
+}
+
+class GanttTest : public ::testing::Test {
+ protected:
+  GanttTest() : table_(soc_, 8) {
+    arch_.rails = {TestRail{{0, 1}, 2, -1}, TestRail{{2, 3}, 2, -1},
+                   TestRail{{4}, 4, -1}};
+    SiTestGroup a;
+    a.label = "g1";
+    a.cores = {0, 1};
+    a.patterns = 20;
+    a.raw_patterns = 20;
+    SiTestGroup b;
+    b.label = "g2";
+    b.cores = {2, 3, 4};
+    b.patterns = 30;
+    b.raw_patterns = 30;
+    tests_.groups = {a, b};
+  }
+
+  Soc soc_ = load_benchmark("mini5");
+  TestTimeTable table_;
+  TamArchitecture arch_;
+  SiTestSet tests_;
+};
+
+TEST_F(GanttTest, AsciiHasOneRowPerRail) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  const Evaluation ev = evaluator.evaluate(arch_);
+  const std::string chart = ascii_si_gantt(ev, arch_, tests_, 40);
+  EXPECT_NE(chart.find("TAM1"), std::string::npos);
+  EXPECT_NE(chart.find("TAM2"), std::string::npos);
+  EXPECT_NE(chart.find("TAM3"), std::string::npos);
+  // Group marks appear.
+  EXPECT_NE(chart.find('1'), std::string::npos);
+  EXPECT_NE(chart.find('2'), std::string::npos);
+}
+
+TEST_F(GanttTest, AsciiEmptyScheduleIsGraceful) {
+  SiTestSet none;
+  const TamEvaluator evaluator(soc_, table_, none);
+  const Evaluation ev = evaluator.evaluate(arch_);
+  EXPECT_NE(ascii_si_gantt(ev, arch_, none).find("no SI tests"),
+            std::string::npos);
+}
+
+TEST_F(GanttTest, AsciiRejectsTinyWidth) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  const Evaluation ev = evaluator.evaluate(arch_);
+  EXPECT_THROW((void)ascii_si_gantt(ev, arch_, tests_, 4),
+               std::invalid_argument);
+}
+
+TEST_F(GanttTest, SvgIsWellFormedEnough) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  const Evaluation ev = evaluator.evaluate(arch_);
+  const std::string svg = svg_test_gantt(ev, arch_, tests_);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One grey InTest segment per core plus one rect per (item, rail).
+  std::size_t rects = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  std::size_t expected = ev.intest.size();
+  for (const SiScheduleItem& item : ev.schedule.items) {
+    expected += item.rails.size();
+  }
+  EXPECT_EQ(rects, expected);
+  // Labels present.
+  EXPECT_NE(svg.find(">g1<"), std::string::npos);
+  EXPECT_NE(svg.find(">g2<"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,123 @@
+// Tests for the rectangle-packing InTest scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "soc/benchmarks.h"
+#include "tam/optimizer.h"
+#include "tam/rectpack.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+namespace {
+
+// Recompute the wire-availability simulation independently to check that
+// no instant uses more than w_max wires.
+void check_wire_capacity(const PackingResult& result, int w_max) {
+  // Sweep over all begin events; at each, count overlapping widths.
+  for (const PackedCore& probe : result.slots) {
+    int used = 0;
+    for (const PackedCore& slot : result.slots) {
+      if (slot.begin <= probe.begin && probe.begin < slot.end) {
+        used += slot.width;
+      }
+    }
+    EXPECT_LE(used, w_max) << "over-subscribed at t=" << probe.begin;
+  }
+}
+
+TEST(RectPack, AllCoresPlacedWithinCapacity) {
+  for (const char* name : {"mini5", "d695", "p93791"}) {
+    const Soc soc = load_benchmark(name);
+    const TestTimeTable table(soc, 24);
+    const PackingResult result = pack_intest_rectangles(soc, table, 24);
+    EXPECT_EQ(result.slots.size(),
+              static_cast<std::size_t>(soc.core_count()))
+        << name;
+    check_wire_capacity(result, 24);
+    std::vector<bool> seen(static_cast<std::size_t>(soc.core_count()),
+                           false);
+    for (const PackedCore& slot : result.slots) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(slot.core)]);
+      seen[static_cast<std::size_t>(slot.core)] = true;
+      EXPECT_GE(slot.width, 1);
+      EXPECT_LE(slot.width, 24);
+      EXPECT_EQ(slot.end - slot.begin, table.intest(slot.core, slot.width));
+      EXPECT_LE(slot.end, result.makespan);
+    }
+  }
+}
+
+TEST(RectPack, RespectsLowerBounds) {
+  const Soc soc = load_benchmark("p93791");
+  for (const int w : {8, 16, 32, 64}) {
+    const TestTimeTable table(soc, w);
+    const PackingResult result = pack_intest_rectangles(soc, table, w);
+    // No faster than any single core at full width.
+    for (int c = 0; c < soc.core_count(); ++c) {
+      EXPECT_GE(result.makespan, table.intest(c, w));
+    }
+    // Idle area is non-negative by definition of makespan.
+    EXPECT_GE(result.idle_area(w), 0);
+  }
+}
+
+TEST(RectPack, MakespanShrinksWithWidth) {
+  const Soc soc = load_benchmark("p34392");
+  const TestTimeTable t8(soc, 8);
+  const TestTimeTable t32(soc, 32);
+  EXPECT_GT(pack_intest_rectangles(soc, t8, 8).makespan,
+            pack_intest_rectangles(soc, t32, 32).makespan);
+}
+
+TEST(RectPack, CompetitiveWithTrArchitect) {
+  // Time-multiplexed wires can only help relative to static rails, modulo
+  // heuristic noise; require packing within 10% of TR-Architect, usually
+  // it is better.
+  static const SiTestSet kNoTests{};
+  for (const char* name : {"d695", "p34392", "p93791"}) {
+    const Soc soc = load_benchmark(name);
+    for (const int w : {16, 32}) {
+      const TestTimeTable table(soc, w);
+      const std::int64_t packed =
+          pack_intest_rectangles(soc, table, w).makespan;
+      const std::int64_t rails =
+          optimize_tam(soc, table, kNoTests, w).evaluation.t_in;
+      EXPECT_LE(packed, rails * 110 / 100) << name << " w=" << w;
+    }
+  }
+}
+
+TEST(RectPack, SingleWire) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 1);
+  const PackingResult result = pack_intest_rectangles(soc, table, 1);
+  // Serial: makespan is the sum of all serial times, zero idle.
+  std::int64_t sum = 0;
+  for (int c = 0; c < soc.core_count(); ++c) sum += table.intest(c, 1);
+  EXPECT_EQ(result.makespan, sum);
+  EXPECT_EQ(result.idle_area(1), 0);
+}
+
+TEST(RectPack, RejectsBadWidth) {
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 4);
+  EXPECT_THROW((void)pack_intest_rectangles(soc, table, 0),
+               std::invalid_argument);
+}
+
+TEST(RectPack, Deterministic) {
+  const Soc soc = load_benchmark("d695");
+  const TestTimeTable table(soc, 16);
+  const PackingResult a = pack_intest_rectangles(soc, table, 16);
+  const PackingResult b = pack_intest_rectangles(soc, table, 16);
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    EXPECT_EQ(a.slots[i].core, b.slots[i].core);
+    EXPECT_EQ(a.slots[i].begin, b.slots[i].begin);
+  }
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,293 @@
+// Tests for src/soc: module/SOC accessors, validation, the .soc parser and
+// writer round-trip, and the embedded benchmark data.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "soc/benchmarks.h"
+#include "soc/parser.h"
+#include "soc/soc.h"
+#include "soc/writer.h"
+
+namespace sitam {
+namespace {
+
+Module make_module(int id) {
+  Module m;
+  m.id = id;
+  m.name = "m" + std::to_string(id);
+  m.inputs = 4;
+  m.outputs = 6;
+  m.bidirs = 2;
+  m.scan_chains = {10, 20, 30};
+  m.patterns = 100;
+  return m;
+}
+
+TEST(Module, DerivedCounts) {
+  const Module m = make_module(1);
+  EXPECT_EQ(m.wic(), 6);   // inputs + bidirs
+  EXPECT_EQ(m.woc(), 8);   // outputs + bidirs
+  EXPECT_EQ(m.boundary_cells(), 14);
+  EXPECT_EQ(m.scan_flops(), 60);
+  EXPECT_EQ(m.max_scan_chain(), 30);
+  EXPECT_EQ(m.test_data_volume(), (60 + 14) * 100);
+}
+
+TEST(Module, CombinationalModule) {
+  Module m = make_module(1);
+  m.scan_chains.clear();
+  EXPECT_EQ(m.scan_flops(), 0);
+  EXPECT_EQ(m.max_scan_chain(), 0);
+}
+
+TEST(Soc, ModuleLookup) {
+  Soc soc;
+  soc.name = "test";
+  soc.modules = {make_module(3), make_module(7)};
+  EXPECT_EQ(soc.module_by_id(7).name, "m7");
+  EXPECT_THROW((void)soc.module_by_id(4), std::out_of_range);
+}
+
+TEST(Soc, Totals) {
+  Soc soc;
+  soc.name = "test";
+  soc.modules = {make_module(1), make_module(2)};
+  EXPECT_EQ(soc.core_count(), 2);
+  EXPECT_EQ(soc.total_woc(), 16);
+  EXPECT_EQ(soc.total_wic(), 12);
+  EXPECT_EQ(soc.total_test_data_volume(), 2 * (60 + 14) * 100);
+}
+
+TEST(SocValidate, AcceptsWellFormed) {
+  Soc soc;
+  soc.name = "ok";
+  soc.modules = {make_module(1), make_module(2)};
+  EXPECT_NO_THROW(validate(soc));
+}
+
+TEST(SocValidate, RejectsEmptyName) {
+  Soc soc;
+  soc.modules = {make_module(1)};
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(SocValidate, RejectsNoModules) {
+  Soc soc;
+  soc.name = "x";
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(SocValidate, RejectsDuplicateIds) {
+  Soc soc;
+  soc.name = "x";
+  soc.modules = {make_module(1), make_module(1)};
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(SocValidate, RejectsNegativeTerminals) {
+  Soc soc;
+  soc.name = "x";
+  soc.modules = {make_module(1)};
+  soc.modules[0].inputs = -1;
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(SocValidate, RejectsTerminallessModule) {
+  Soc soc;
+  soc.name = "x";
+  soc.modules = {make_module(1)};
+  soc.modules[0].inputs = 0;
+  soc.modules[0].outputs = 0;
+  soc.modules[0].bidirs = 0;
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(SocValidate, RejectsZeroLengthScanChain) {
+  Soc soc;
+  soc.name = "x";
+  soc.modules = {make_module(1)};
+  soc.modules[0].scan_chains.push_back(0);
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(SocValidate, RejectsNegativePatterns) {
+  Soc soc;
+  soc.name = "x";
+  soc.modules = {make_module(1)};
+  soc.modules[0].patterns = -5;
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+constexpr const char* kSample = R"(# a comment
+Soc sample
+
+Module 1 alpha
+  Inputs 3
+  Outputs 4
+  Bidirs 1
+  ScanChains 2x10 5   # trailing comment
+  Patterns 17
+End
+
+Module 2
+  Inputs 1
+  Outputs 1
+  Patterns 3
+End
+)";
+
+TEST(Parser, ParsesSample) {
+  const Soc soc = parse_soc(kSample);
+  EXPECT_EQ(soc.name, "sample");
+  ASSERT_EQ(soc.modules.size(), 2u);
+  const Module& alpha = soc.modules[0];
+  EXPECT_EQ(alpha.name, "alpha");
+  EXPECT_EQ(alpha.inputs, 3);
+  EXPECT_EQ(alpha.outputs, 4);
+  EXPECT_EQ(alpha.bidirs, 1);
+  ASSERT_EQ(alpha.scan_chains.size(), 3u);
+  EXPECT_EQ(alpha.scan_chains[0], 10);
+  EXPECT_EQ(alpha.scan_chains[1], 10);
+  EXPECT_EQ(alpha.scan_chains[2], 5);
+  EXPECT_EQ(alpha.patterns, 17);
+  // Unnamed module gets a generated name.
+  EXPECT_EQ(soc.modules[1].name, "module2");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_soc("Soc x\nModule 1\nBogus 3\nEnd\n");
+    FAIL() << "expected SocParseError";
+  } catch (const SocParseError& err) {
+    EXPECT_EQ(err.line(), 3);
+  }
+}
+
+TEST(Parser, RejectsModuleBeforeSoc) {
+  EXPECT_THROW((void)parse_soc("Module 1\nEnd\n"), SocParseError);
+}
+
+TEST(Parser, RejectsMissingEnd) {
+  EXPECT_THROW((void)parse_soc("Soc x\nModule 1\nInputs 3\n"), SocParseError);
+}
+
+TEST(Parser, RejectsNestedModule) {
+  EXPECT_THROW((void)parse_soc("Soc x\nModule 1\nModule 2\n"), SocParseError);
+}
+
+TEST(Parser, RejectsDuplicateSocLine) {
+  EXPECT_THROW((void)parse_soc("Soc x\nSoc y\n"), SocParseError);
+}
+
+TEST(Parser, RejectsDirectiveOutsideModule) {
+  EXPECT_THROW((void)parse_soc("Soc x\nInputs 3\n"), SocParseError);
+}
+
+TEST(Parser, RejectsGarbageInteger) {
+  EXPECT_THROW((void)parse_soc("Soc x\nModule 1\nInputs abc\nEnd\n"),
+               SocParseError);
+}
+
+TEST(Parser, RejectsEndWithoutModule) {
+  EXPECT_THROW((void)parse_soc("Soc x\nEnd\n"), SocParseError);
+}
+
+TEST(Parser, ValidatesSemantics) {
+  // Module without terminals parses syntactically but fails validation.
+  EXPECT_THROW((void)parse_soc("Soc x\nModule 1\nPatterns 3\nEnd\n"),
+               SocParseError);
+}
+
+TEST(Writer, RoundTripsThroughText) {
+  const Soc original = parse_soc(kSample);
+  const std::string text = soc_to_text(original);
+  const Soc reparsed = parse_soc(text);
+  ASSERT_EQ(reparsed.modules.size(), original.modules.size());
+  for (std::size_t i = 0; i < original.modules.size(); ++i) {
+    const Module& a = original.modules[i];
+    const Module& b = reparsed.modules[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.bidirs, b.bidirs);
+    EXPECT_EQ(a.scan_chains, b.scan_chains);
+    EXPECT_EQ(a.patterns, b.patterns);
+  }
+}
+
+TEST(Parser, BistPatternsRoundTrip) {
+  const Soc soc = parse_soc(
+      "Soc b\nModule 1 x\n Inputs 2\n Outputs 2\n Patterns 10\n"
+      " BistPatterns 777\nEnd\n");
+  ASSERT_EQ(soc.modules.size(), 1u);
+  EXPECT_EQ(soc.modules[0].bist_patterns, 777);
+  const Soc reparsed = parse_soc(soc_to_text(soc));
+  EXPECT_EQ(reparsed.modules[0].bist_patterns, 777);
+}
+
+TEST(SocValidate, RejectsNegativeBistPatterns) {
+  Soc soc;
+  soc.name = "x";
+  soc.modules = {make_module(1)};
+  soc.modules[0].bist_patterns = -1;
+  EXPECT_THROW(validate(soc), std::invalid_argument);
+}
+
+TEST(Writer, CompactsEqualChainRuns) {
+  Soc soc;
+  soc.name = "x";
+  Module m = make_module(1);
+  m.scan_chains = {10, 10, 10, 20};
+  soc.modules = {m};
+  const std::string text = soc_to_text(soc);
+  EXPECT_NE(text.find("3x10"), std::string::npos);
+}
+
+TEST(Benchmarks, AllEmbeddedBenchmarksValidate) {
+  for (const std::string& name : benchmark_names()) {
+    const Soc soc = load_benchmark(name);
+    EXPECT_NO_THROW(validate(soc)) << name;
+    EXPECT_EQ(soc.name, name);
+  }
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW((void)load_benchmark("nope"), std::out_of_range);
+}
+
+TEST(Benchmarks, PublishedModuleCounts) {
+  EXPECT_EQ(load_benchmark("d695").core_count(), 10);
+  EXPECT_EQ(load_benchmark("p34392").core_count(), 19);
+  EXPECT_EQ(load_benchmark("p93791").core_count(), 32);
+  EXPECT_EQ(load_benchmark("p22810").core_count(), 28);
+  EXPECT_EQ(load_benchmark("a586710").core_count(), 7);
+  EXPECT_EQ(load_benchmark("mini5").core_count(), 5);
+}
+
+TEST(Benchmarks, P34392HasDominantCore) {
+  const Soc soc = load_benchmark("p34392");
+  // Module 18 dominates the SOC's test data volume (the source of the
+  // published test-time plateau for W >= 32).
+  const Module& big = soc.module_by_id(18);
+  for (const Module& m : soc.modules) {
+    if (m.id != 18) {
+      EXPECT_GT(big.test_data_volume(), 5 * m.test_data_volume())
+          << "module " << m.id;
+    }
+  }
+  // ...and carries over 40% of the SOC's serial test volume.
+  EXPECT_GT(big.test_data_volume() * 10, soc.total_test_data_volume() * 4);
+}
+
+TEST(Benchmarks, P93791VolumeIsCalibrated) {
+  const Soc soc = load_benchmark("p93791");
+  // DESIGN.md §3: ~29M bits of serial test volume (within 20%).
+  const double volume = static_cast<double>(soc.total_test_data_volume());
+  EXPECT_GT(volume, 23e6);
+  EXPECT_LT(volume, 35e6);
+}
+
+}  // namespace
+}  // namespace sitam

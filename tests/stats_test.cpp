@@ -1,0 +1,75 @@
+// Tests for the multi-seed statistics module.
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "soc/benchmarks.h"
+
+namespace sitam {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SampleStats stats = summarize(values);
+  EXPECT_EQ(stats.samples, 8);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const double values[] = {3.5};
+  const SampleStats stats = summarize(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.5);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_EQ(stats.samples, 1);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const SampleStats stats = summarize({});
+  EXPECT_EQ(stats.samples, 0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(RunSeedStudy, ShapesAndDeterminism) {
+  const Soc soc = load_benchmark("mini5");
+  SiWorkloadConfig base;
+  base.pattern_count = 300;
+  base.groupings = {1, 2};
+  const std::uint64_t seeds[] = {1, 2, 3};
+  const int widths[] = {2, 4};
+
+  const auto rows = run_seed_study(soc, base, seeds, widths);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].w_max, 2);
+  EXPECT_EQ(rows[1].w_max, 4);
+  for (const SeedStudyRow& row : rows) {
+    EXPECT_EQ(row.delta_baseline_pct.samples, 3);
+    EXPECT_EQ(row.t_min.samples, 3);
+    EXPECT_GE(row.t_min.min, 0.0);
+    EXPECT_LE(row.t_min.min, row.t_min.max);
+    // dTg >= 0 by construction (T_min <= T_g1).
+    EXPECT_GE(row.delta_g_pct.min, 0.0);
+  }
+  // Wider TAM means lower times, on average.
+  EXPECT_GT(rows[0].t_min.mean, rows[1].t_min.mean);
+
+  const auto again = run_seed_study(soc, base, seeds, widths);
+  EXPECT_DOUBLE_EQ(rows[0].delta_baseline_pct.mean,
+                   again[0].delta_baseline_pct.mean);
+}
+
+TEST(RunSeedStudy, RejectsEmptyInputs) {
+  const Soc soc = load_benchmark("mini5");
+  SiWorkloadConfig base;
+  base.pattern_count = 100;
+  const std::uint64_t seeds[] = {1};
+  const int widths[] = {2};
+  EXPECT_THROW((void)run_seed_study(soc, base, {}, widths),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_seed_study(soc, base, seeds, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,98 @@
+// Tests for the parameterized SOC generator.
+#include <gtest/gtest.h>
+
+#include "soc/synth.h"
+#include "soc/writer.h"
+#include "soc/parser.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+TEST(GenerateSoc, ProducesValidSocOfRequestedSize) {
+  Rng rng(1);
+  SynthSocConfig config;
+  config.cores = 24;
+  const Soc soc = generate_soc(config, rng);
+  EXPECT_EQ(soc.core_count(), 24);
+  EXPECT_NO_THROW(validate(soc));
+}
+
+TEST(GenerateSoc, DeterministicForSeed) {
+  SynthSocConfig config;
+  config.cores = 12;
+  Rng rng1(7);
+  Rng rng2(7);
+  const Soc a = generate_soc(config, rng1);
+  const Soc b = generate_soc(config, rng2);
+  EXPECT_EQ(soc_to_text(a), soc_to_text(b));
+}
+
+TEST(GenerateSoc, LargeCoresDominateVolume) {
+  SynthSocConfig config;
+  config.cores = 20;
+  config.large_fraction = 0.25;
+  Rng rng(3);
+  const Soc soc = generate_soc(config, rng);
+  std::int64_t large_volume = 0;
+  std::int64_t rest_volume = 0;
+  for (const Module& m : soc.modules) {
+    if (m.name.rfind("big", 0) == 0) {
+      large_volume += m.test_data_volume();
+    } else {
+      rest_volume += m.test_data_volume();
+    }
+  }
+  EXPECT_GT(large_volume, rest_volume);
+}
+
+TEST(GenerateSoc, RoundTripsThroughSocFormat) {
+  SynthSocConfig config;
+  config.cores = 10;
+  Rng rng(5);
+  const Soc soc = generate_soc(config, rng);
+  const Soc reparsed = parse_soc(soc_to_text(soc));
+  EXPECT_EQ(reparsed.core_count(), soc.core_count());
+  EXPECT_EQ(reparsed.total_test_data_volume(),
+            soc.total_test_data_volume());
+}
+
+TEST(GenerateSoc, SingleCoreWorks) {
+  SynthSocConfig config;
+  config.cores = 1;
+  Rng rng(6);
+  const Soc soc = generate_soc(config, rng);
+  EXPECT_EQ(soc.core_count(), 1);
+}
+
+TEST(GenerateSoc, RejectsBadConfig) {
+  Rng rng(8);
+  SynthSocConfig config;
+  config.cores = 0;
+  EXPECT_THROW((void)generate_soc(config, rng), std::invalid_argument);
+  config = SynthSocConfig{};
+  config.large_fraction = 1.5;
+  EXPECT_THROW((void)generate_soc(config, rng), std::invalid_argument);
+  config = SynthSocConfig{};
+  config.terminals_min = 50;
+  config.terminals_max = 10;
+  EXPECT_THROW((void)generate_soc(config, rng), std::invalid_argument);
+}
+
+class SynthScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthScaleTest, GeneratedSocsSurviveTheFullPipeline) {
+  SynthSocConfig config;
+  config.cores = GetParam();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Soc soc = generate_soc(config, rng);
+  EXPECT_EQ(soc.core_count(), GetParam());
+  EXPECT_GT(soc.total_woc(), 0);
+  EXPECT_GT(soc.total_test_data_volume(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SynthScaleTest,
+                         ::testing::Values(2, 5, 16, 40, 100));
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,47 @@
+// Tests for the wrapper report rendering.
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.h"
+#include "wrapper/design.h"
+#include "wrapper/report.h"
+
+namespace sitam {
+namespace {
+
+TEST(DescribeWrapper, ListsEveryChainAndTotals) {
+  const Soc soc = load_benchmark("d695");
+  const Module& m = soc.module_by_id(8);  // s5378: 4 chains of 45
+  const WrapperDesign design = design_wrapper(m, 4);
+  const std::string text = describe_wrapper(m, design);
+  EXPECT_NE(text.find("wrapper for s5378 at width 4"), std::string::npos);
+  EXPECT_NE(text.find("chain 1:"), std::string::npos);
+  EXPECT_NE(text.find("chain 4:"), std::string::npos);
+  EXPECT_EQ(text.find("chain 5:"), std::string::npos);
+  EXPECT_NE(text.find("scan-in " + std::to_string(design.scan_in)),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("test time " +
+                std::to_string(design.test_time(m.patterns)) + " cc"),
+      std::string::npos);
+}
+
+TEST(DescribeWrapper, ShowsInternalChainLengths) {
+  const Soc soc = load_benchmark("d695");
+  const Module& m = soc.module_by_id(3);  // s838: one chain of 32
+  const std::string text = describe_wrapper(m, design_wrapper(m, 1));
+  EXPECT_NE(text.find("[32]"), std::string::npos);
+}
+
+TEST(DescribePareto, ListsFrontPoints) {
+  const Soc soc = load_benchmark("d695");
+  const Module& m = soc.module_by_id(10);
+  const std::string text = describe_pareto(m, 16);
+  EXPECT_NE(text.find("s38417 Pareto front:"), std::string::npos);
+  EXPECT_NE(text.find("w=1 T="), std::string::npos);
+  // Ends with a newline, no dangling separator.
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text[text.size() - 2] == '|', false);
+}
+
+}  // namespace
+}  // namespace sitam

@@ -1,0 +1,371 @@
+// sitam — command-line front end to the library.
+//
+//   sitam benchmarks
+//   sitam info     --soc=<name|file.soc>
+//   sitam generate --cores=N [--seed=S] [--name=X]
+//   sitam compact  --soc=<...> --nr=N [--parts=1,2,4,8]
+//   sitam optimize --soc=<...> --wmax=W [--nr=N] [--parts=K] [--json]
+//   sitam sweep    --soc=<...> [--widths=8,16,...] [--nr=N] [--json]
+//
+// --soc accepts an embedded benchmark name (see `sitam benchmarks`) or a
+// path to a `.soc` file.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/flow.h"
+#include "core/gantt.h"
+#include "core/report.h"
+#include "soc/benchmarks.h"
+#include "soc/itc02.h"
+#include "soc/parser.h"
+#include "soc/synth.h"
+#include "soc/writer.h"
+#include "tam/area.h"
+#include "tam/bounds.h"
+#include "tam/verify.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "wrapper/design.h"
+#include "wrapper/report.h"
+
+namespace {
+
+using namespace sitam;
+
+Soc resolve_soc(const CliArgs& args) {
+  const std::string spec = args.get_or("soc", std::string("d695"));
+  for (const std::string& name : benchmark_names()) {
+    if (name == spec) return load_benchmark(name);
+  }
+  // A file: try the sitam dialect first, then the original ITC'02 format.
+  try {
+    return load_soc_file(spec);
+  } catch (const SocParseError&) {
+    return load_itc02_file(spec);
+  }
+}
+
+int cmd_benchmarks() {
+  TextTable table;
+  table.add_column("name", Align::kLeft);
+  table.add_column("cores");
+  table.add_column("scan flops");
+  table.add_column("boundary cells");
+  table.add_column("InTest volume (bits)");
+  for (const std::string& name : benchmark_names()) {
+    const Soc soc = load_benchmark(name);
+    std::int64_t flops = 0;
+    std::int64_t cells = 0;
+    for (const Module& m : soc.modules) {
+      flops += m.scan_flops();
+      cells += m.boundary_cells();
+    }
+    table.begin_row();
+    table.cell(name);
+    table.cell(static_cast<std::int64_t>(soc.core_count()));
+    table.cell(flops);
+    table.cell(cells);
+    table.cell(soc.total_test_data_volume());
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const Soc soc = resolve_soc(args);
+  if (args.has("module")) {
+    // Deep-dive into one module's wrapper.
+    const int id =
+        static_cast<int>(args.get_or("module", std::int64_t{1}));
+    const Module& m = soc.module_by_id(id);
+    const int width =
+        static_cast<int>(args.get_or("width", std::int64_t{8}));
+    std::cout << describe_wrapper(m, design_wrapper(m, width)) << "\n"
+              << describe_pareto(m, std::max(width, 16));
+    return 0;
+  }
+  std::cout << "SOC " << soc.name << ": " << soc.core_count()
+            << " wrapped cores\n";
+  TextTable table;
+  table.add_column("id");
+  table.add_column("name", Align::kLeft);
+  table.add_column("in");
+  table.add_column("out");
+  table.add_column("bidir");
+  table.add_column("chains");
+  table.add_column("flops");
+  table.add_column("patterns");
+  table.add_column("T(w=1)");
+  table.add_column("T(w=16)");
+  for (const Module& m : soc.modules) {
+    table.begin_row();
+    table.cell(static_cast<std::int64_t>(m.id));
+    table.cell(m.name);
+    table.cell(static_cast<std::int64_t>(m.inputs));
+    table.cell(static_cast<std::int64_t>(m.outputs));
+    table.cell(static_cast<std::int64_t>(m.bidirs));
+    table.cell(static_cast<std::int64_t>(m.scan_chains.size()));
+    table.cell(m.scan_flops());
+    table.cell(m.patterns);
+    table.cell(intest_time(m, 1));
+    table.cell(intest_time(m, 16));
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_generate(const CliArgs& args) {
+  SynthSocConfig config;
+  config.cores = static_cast<int>(args.get_or("cores", std::int64_t{16}));
+  config.name = args.get_or("name", std::string("synth"));
+  Rng rng(static_cast<std::uint64_t>(args.get_or("seed", std::int64_t{1})));
+  const Soc soc = generate_soc(config, rng);
+  std::cout << soc_to_text(soc);
+  return 0;
+}
+
+int cmd_compact(const CliArgs& args) {
+  const Soc soc = resolve_soc(args);
+  SiWorkloadConfig config;
+  config.pattern_count = args.get_or("nr", std::int64_t{10000});
+  config.seed = static_cast<std::uint64_t>(
+      args.get_or("seed", std::int64_t{0x20070604}));
+  {
+    auto parts = args.get_list_or("parts", {1, 2, 4, 8});
+    config.groupings.assign(parts.begin(), parts.end());
+  }
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  TextTable table;
+  table.add_column("i");
+  table.add_column("groups");
+  table.add_column("compacted");
+  table.add_column("raw");
+  table.add_column("ratio");
+  for (const int parts : workload.groupings()) {
+    const SiTestSet& tests = workload.tests(parts);
+    table.begin_row();
+    table.cell(static_cast<std::int64_t>(parts));
+    table.cell(static_cast<std::int64_t>(tests.groups.size()));
+    table.cell(tests.total_patterns());
+    table.cell(tests.total_raw_patterns());
+    table.cell(static_cast<double>(tests.total_raw_patterns()) /
+                   static_cast<double>(std::max<std::int64_t>(
+                       1, tests.total_patterns())),
+               2);
+  }
+  std::cout << table;
+  return 0;
+}
+
+void architecture_json(JsonWriter& json, const TamArchitecture& arch,
+                       const Evaluation& ev) {
+  json.key("t_in").value(ev.t_in);
+  json.key("t_si").value(ev.t_si);
+  json.key("t_soc").value(ev.t_soc);
+  json.key("rails").begin_array();
+  for (std::size_t r = 0; r < arch.rails.size(); ++r) {
+    json.begin_object();
+    json.key("width").value(std::int64_t{arch.rails[r].width});
+    json.key("cores").begin_array();
+    for (const int c : arch.rails[r].cores) json.value(std::int64_t{c});
+    json.end_array();
+    json.key("time_in").value(ev.rails[r].time_in);
+    json.key("time_si").value(ev.rails[r].time_si);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("schedule").begin_array();
+  for (const SiScheduleItem& item : ev.schedule.items) {
+    json.begin_object()
+        .kv("group", std::int64_t{item.group})
+        .kv("begin", item.begin)
+        .kv("end", item.end)
+        .kv("bottleneck_rail", std::int64_t{item.bottleneck_rail})
+        .end_object();
+  }
+  json.end_array();
+}
+
+int cmd_optimize(const CliArgs& args) {
+  const Soc soc = resolve_soc(args);
+  const int w_max = static_cast<int>(args.get_or("wmax", std::int64_t{32}));
+  const int parts = static_cast<int>(args.get_or("parts", std::int64_t{4}));
+  SiWorkloadConfig config;
+  config.pattern_count = args.get_or("nr", std::int64_t{10000});
+  config.groupings = {parts};
+  config.seed = static_cast<std::uint64_t>(
+      args.get_or("seed", std::int64_t{0x20070604}));
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const SiTestSet& tests = workload.tests(parts);
+  const TestTimeTable table(soc, w_max);
+  const OptimizeResult result = optimize_tam(soc, table, tests, w_max);
+  const LowerBounds bounds = lower_bounds(soc, table, tests, w_max);
+  const WrapperArea area = soc_wrapper_area(soc, result.architecture);
+
+  if (args.has("json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("soc").value(soc.name);
+    json.key("w_max").value(std::int64_t{w_max});
+    json.key("n_r").value(config.pattern_count);
+    json.key("parts").value(std::int64_t{parts});
+    architecture_json(json, result.architecture, result.evaluation);
+    json.key("lower_bound").value(bounds.t_soc());
+    json.key("si_wrapper_extra_ge").value(area.si_extra_ge);
+    json.end_object();
+    std::cout << json.str() << "\n";
+    return 0;
+  }
+  std::cout << describe_evaluation(result.architecture, result.evaluation,
+                                   tests);
+  std::cout << "lower bound (architecture-independent): " << bounds.t_soc()
+            << " cc\n";
+  std::cout << "SI wrapper extra area: " << area.si_extra_ge << " GE ("
+            << area.overhead_pct() << " % over plain wrappers)\n";
+  return 0;
+}
+
+int cmd_verify(const CliArgs& args) {
+  // Optimize, then re-check the result with the independent verifier —
+  // the end-to-end self-test a downstream user can run on any SOC.
+  const Soc soc = resolve_soc(args);
+  const int w_max = static_cast<int>(args.get_or("wmax", std::int64_t{32}));
+  const int parts = static_cast<int>(args.get_or("parts", std::int64_t{4}));
+  SiWorkloadConfig config;
+  config.pattern_count = args.get_or("nr", std::int64_t{5000});
+  config.groupings = {parts};
+  config.seed = static_cast<std::uint64_t>(
+      args.get_or("seed", std::int64_t{0x20070604}));
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const SiTestSet& tests = workload.tests(parts);
+  const TestTimeTable table(soc, w_max);
+  const OptimizeResult result = optimize_tam(soc, table, tests, w_max);
+  const auto problems = verify_evaluation(
+      soc, table, tests, result.architecture, result.evaluation);
+  if (problems.empty()) {
+    std::cout << "verified: " << soc.name << " W_max=" << w_max
+              << " T_soc=" << result.evaluation.t_soc << " cc ("
+              << result.architecture.rails.size() << " rails, "
+              << tests.groups.size() << " SI groups)\n";
+    return 0;
+  }
+  std::cerr << problems.size() << " violation(s):\n";
+  for (const std::string& problem : problems) {
+    std::cerr << "  " << problem << "\n";
+  }
+  return 1;
+}
+
+int cmd_gantt(const CliArgs& args) {
+  const Soc soc = resolve_soc(args);
+  const int w_max = static_cast<int>(args.get_or("wmax", std::int64_t{32}));
+  const int parts = static_cast<int>(args.get_or("parts", std::int64_t{4}));
+  SiWorkloadConfig config;
+  config.pattern_count = args.get_or("nr", std::int64_t{10000});
+  config.groupings = {parts};
+  config.seed = static_cast<std::uint64_t>(
+      args.get_or("seed", std::int64_t{0x20070604}));
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const SiTestSet& tests = workload.tests(parts);
+  const TestTimeTable table(soc, w_max);
+  const OptimizeResult result = optimize_tam(soc, table, tests, w_max);
+
+  std::cout << result.architecture.describe() << "\n"
+            << "T_in=" << result.evaluation.t_in
+            << " T_si=" << result.evaluation.t_si
+            << " T_soc=" << result.evaluation.t_soc << "\n\n"
+            << ascii_si_gantt(result.evaluation, result.architecture, tests);
+  if (const auto svg_path = args.get("svg")) {
+    std::ofstream svg(*svg_path);
+    if (!svg) {
+      std::cerr << "cannot write " << *svg_path << "\n";
+      return 1;
+    }
+    svg << svg_test_gantt(result.evaluation, result.architecture, tests);
+    std::cout << "wrote " << *svg_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const Soc soc = resolve_soc(args);
+  SiWorkloadConfig config;
+  config.pattern_count = args.get_or("nr", std::int64_t{10000});
+  config.seed = static_cast<std::uint64_t>(
+      args.get_or("seed", std::int64_t{0x20070604}));
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const auto width_args =
+      args.get_list_or("widths", {8, 16, 24, 32, 40, 48, 56, 64});
+  const std::vector<int> widths(width_args.begin(), width_args.end());
+  const SweepResult sweep = run_sweep(workload, widths);
+
+  if (args.has("json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("soc").value(sweep.soc_name);
+    json.key("n_r").value(sweep.pattern_count);
+    json.key("rows").begin_array();
+    for (const ExperimentOutcome& row : sweep.rows) {
+      json.begin_object();
+      json.key("w_max").value(std::int64_t{row.w_max});
+      json.key("t_baseline").value(row.t_baseline);
+      json.key("t_g").begin_array();
+      for (const OptimizeResult& r : row.per_grouping) {
+        json.value(r.evaluation.t_soc);
+      }
+      json.end_array();
+      json.key("t_min").value(row.t_min);
+      json.key("delta_baseline_pct").value(row.delta_baseline_pct());
+      json.key("delta_g_pct").value(row.delta_g_pct());
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::cout << json.str() << "\n";
+    return 0;
+  }
+  std::cout << sweep_caption(sweep) << "\n" << render_paper_table(sweep);
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: sitam <command> [--flags]\n"
+         "  benchmarks                      list embedded benchmark SOCs\n"
+         "  info     --soc=<name|file>      per-module details\n"
+         "           [--module=ID --width=W] wrapper deep-dive\n"
+         "  generate --cores=N [--seed=S]   emit a synthetic .soc\n"
+         "  compact  --soc=... --nr=N       2-D compaction statistics\n"
+         "  optimize --soc=... --wmax=W     optimize one architecture\n"
+         "  sweep    --soc=... [--widths=]  paper-style table\n"
+         "  gantt    --soc=... --wmax=W     schedule chart [--svg=out.svg]\n"
+         "  verify   --soc=... --wmax=W     optimize + independent check\n"
+         "  (optimize/sweep accept --json)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const CliArgs args(argc - 1, argv + 1);
+    if (command == "benchmarks") return cmd_benchmarks();
+    if (command == "info") return cmd_info(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "compact") return cmd_compact(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "gantt") return cmd_gantt(args);
+    if (command == "verify") return cmd_verify(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}
