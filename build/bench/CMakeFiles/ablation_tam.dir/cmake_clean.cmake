@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tam.dir/ablation_tam.cpp.o"
+  "CMakeFiles/ablation_tam.dir/ablation_tam.cpp.o.d"
+  "ablation_tam"
+  "ablation_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

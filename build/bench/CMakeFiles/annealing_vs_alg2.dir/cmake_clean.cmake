@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annealing_vs_alg2.dir/annealing_vs_alg2.cpp.o"
+  "CMakeFiles/annealing_vs_alg2.dir/annealing_vs_alg2.cpp.o.d"
+  "annealing_vs_alg2"
+  "annealing_vs_alg2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annealing_vs_alg2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_vs_deterministic.dir/bist_vs_deterministic.cpp.o"
+  "CMakeFiles/bist_vs_deterministic.dir/bist_vs_deterministic.cpp.o.d"
+  "bist_vs_deterministic"
+  "bist_vs_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_vs_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

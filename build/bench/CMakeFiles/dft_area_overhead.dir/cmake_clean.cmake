@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_area_overhead.dir/dft_area_overhead.cpp.o"
+  "CMakeFiles/dft_area_overhead.dir/dft_area_overhead.cpp.o.d"
+  "dft_area_overhead"
+  "dft_area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

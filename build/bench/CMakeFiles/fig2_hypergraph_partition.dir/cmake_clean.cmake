@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hypergraph_partition.dir/fig2_hypergraph_partition.cpp.o"
+  "CMakeFiles/fig2_hypergraph_partition.dir/fig2_hypergraph_partition.cpp.o.d"
+  "fig2_hypergraph_partition"
+  "fig2_hypergraph_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hypergraph_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaving_gain.dir/interleaving_gain.cpp.o"
+  "CMakeFiles/interleaving_gain.dir/interleaving_gain.cpp.o.d"
+  "interleaving_gain"
+  "interleaving_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaving_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

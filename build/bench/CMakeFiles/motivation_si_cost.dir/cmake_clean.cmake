@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_si_cost.dir/motivation_si_cost.cpp.o"
+  "CMakeFiles/motivation_si_cost.dir/motivation_si_cost.cpp.o.d"
+  "motivation_si_cost"
+  "motivation_si_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_si_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

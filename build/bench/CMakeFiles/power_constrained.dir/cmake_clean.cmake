@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_constrained.dir/power_constrained.cpp.o"
+  "CMakeFiles/power_constrained.dir/power_constrained.cpp.o.d"
+  "power_constrained"
+  "power_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

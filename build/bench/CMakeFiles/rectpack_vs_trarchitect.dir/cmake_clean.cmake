@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectpack_vs_trarchitect.dir/rectpack_vs_trarchitect.cpp.o"
+  "CMakeFiles/rectpack_vs_trarchitect.dir/rectpack_vs_trarchitect.cpp.o.d"
+  "rectpack_vs_trarchitect"
+  "rectpack_vs_trarchitect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectpack_vs_trarchitect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rectpack_vs_trarchitect.
+# This may be replaced when dependencies are built.

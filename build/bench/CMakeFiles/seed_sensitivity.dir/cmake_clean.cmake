@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_sensitivity.dir/seed_sensitivity.cpp.o"
+  "CMakeFiles/seed_sensitivity.dir/seed_sensitivity.cpp.o.d"
+  "seed_sensitivity"
+  "seed_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pattern_format.dir/table1_pattern_format.cpp.o"
+  "CMakeFiles/table1_pattern_format.dir/table1_pattern_format.cpp.o.d"
+  "table1_pattern_format"
+  "table1_pattern_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pattern_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_p34392.dir/table2_p34392.cpp.o"
+  "CMakeFiles/table2_p34392.dir/table2_p34392.cpp.o.d"
+  "table2_p34392"
+  "table2_p34392.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_p34392.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

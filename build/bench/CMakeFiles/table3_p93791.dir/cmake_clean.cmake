@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_p93791.dir/table3_p93791.cpp.o"
+  "CMakeFiles/table3_p93791.dir/table3_p93791.cpp.o.d"
+  "table3_p93791"
+  "table3_p93791.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_p93791.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_extended_socs.dir/table4_extended_socs.cpp.o"
+  "CMakeFiles/table4_extended_socs.dir/table4_extended_socs.cpp.o.d"
+  "table4_extended_socs"
+  "table4_extended_socs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_extended_socs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

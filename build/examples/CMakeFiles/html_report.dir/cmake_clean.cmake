@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_report.dir/html_report.cpp.o"
+  "CMakeFiles/html_report.dir/html_report.cpp.o.d"
+  "html_report"
+  "html_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_walkthrough.dir/scheduling_walkthrough.cpp.o"
+  "CMakeFiles/scheduling_walkthrough.dir/scheduling_walkthrough.cpp.o.d"
+  "scheduling_walkthrough"
+  "scheduling_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_core.dir/cache.cpp.o"
+  "CMakeFiles/sitam_core.dir/cache.cpp.o.d"
+  "CMakeFiles/sitam_core.dir/flow.cpp.o"
+  "CMakeFiles/sitam_core.dir/flow.cpp.o.d"
+  "CMakeFiles/sitam_core.dir/gantt.cpp.o"
+  "CMakeFiles/sitam_core.dir/gantt.cpp.o.d"
+  "CMakeFiles/sitam_core.dir/report.cpp.o"
+  "CMakeFiles/sitam_core.dir/report.cpp.o.d"
+  "CMakeFiles/sitam_core.dir/stats.cpp.o"
+  "CMakeFiles/sitam_core.dir/stats.cpp.o.d"
+  "libsitam_core.a"
+  "libsitam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergraph/hypergraph.cpp" "src/hypergraph/CMakeFiles/sitam_hypergraph.dir/hypergraph.cpp.o" "gcc" "src/hypergraph/CMakeFiles/sitam_hypergraph.dir/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/partition.cpp" "src/hypergraph/CMakeFiles/sitam_hypergraph.dir/partition.cpp.o" "gcc" "src/hypergraph/CMakeFiles/sitam_hypergraph.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_hypergraph.dir/hypergraph.cpp.o"
+  "CMakeFiles/sitam_hypergraph.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/sitam_hypergraph.dir/partition.cpp.o"
+  "CMakeFiles/sitam_hypergraph.dir/partition.cpp.o.d"
+  "libsitam_hypergraph.a"
+  "libsitam_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

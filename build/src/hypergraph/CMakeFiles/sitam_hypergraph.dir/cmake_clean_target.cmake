@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsitam_hypergraph.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_interconnect.dir/terminal_space.cpp.o"
+  "CMakeFiles/sitam_interconnect.dir/terminal_space.cpp.o.d"
+  "CMakeFiles/sitam_interconnect.dir/topology.cpp.o"
+  "CMakeFiles/sitam_interconnect.dir/topology.cpp.o.d"
+  "libsitam_interconnect.a"
+  "libsitam_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/bist.cpp" "src/pattern/CMakeFiles/sitam_pattern.dir/bist.cpp.o" "gcc" "src/pattern/CMakeFiles/sitam_pattern.dir/bist.cpp.o.d"
+  "/root/repo/src/pattern/compaction.cpp" "src/pattern/CMakeFiles/sitam_pattern.dir/compaction.cpp.o" "gcc" "src/pattern/CMakeFiles/sitam_pattern.dir/compaction.cpp.o.d"
+  "/root/repo/src/pattern/coverage.cpp" "src/pattern/CMakeFiles/sitam_pattern.dir/coverage.cpp.o" "gcc" "src/pattern/CMakeFiles/sitam_pattern.dir/coverage.cpp.o.d"
+  "/root/repo/src/pattern/generator.cpp" "src/pattern/CMakeFiles/sitam_pattern.dir/generator.cpp.o" "gcc" "src/pattern/CMakeFiles/sitam_pattern.dir/generator.cpp.o.d"
+  "/root/repo/src/pattern/io.cpp" "src/pattern/CMakeFiles/sitam_pattern.dir/io.cpp.o" "gcc" "src/pattern/CMakeFiles/sitam_pattern.dir/io.cpp.o.d"
+  "/root/repo/src/pattern/pattern.cpp" "src/pattern/CMakeFiles/sitam_pattern.dir/pattern.cpp.o" "gcc" "src/pattern/CMakeFiles/sitam_pattern.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interconnect/CMakeFiles/sitam_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sitam_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

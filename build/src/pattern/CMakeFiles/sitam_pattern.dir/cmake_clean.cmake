@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_pattern.dir/bist.cpp.o"
+  "CMakeFiles/sitam_pattern.dir/bist.cpp.o.d"
+  "CMakeFiles/sitam_pattern.dir/compaction.cpp.o"
+  "CMakeFiles/sitam_pattern.dir/compaction.cpp.o.d"
+  "CMakeFiles/sitam_pattern.dir/coverage.cpp.o"
+  "CMakeFiles/sitam_pattern.dir/coverage.cpp.o.d"
+  "CMakeFiles/sitam_pattern.dir/generator.cpp.o"
+  "CMakeFiles/sitam_pattern.dir/generator.cpp.o.d"
+  "CMakeFiles/sitam_pattern.dir/io.cpp.o"
+  "CMakeFiles/sitam_pattern.dir/io.cpp.o.d"
+  "CMakeFiles/sitam_pattern.dir/pattern.cpp.o"
+  "CMakeFiles/sitam_pattern.dir/pattern.cpp.o.d"
+  "libsitam_pattern.a"
+  "libsitam_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sitest/group.cpp" "src/sitest/CMakeFiles/sitam_sitest.dir/group.cpp.o" "gcc" "src/sitest/CMakeFiles/sitam_sitest.dir/group.cpp.o.d"
+  "/root/repo/src/sitest/io.cpp" "src/sitest/CMakeFiles/sitam_sitest.dir/io.cpp.o" "gcc" "src/sitest/CMakeFiles/sitam_sitest.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pattern/CMakeFiles/sitam_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/sitam_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/sitam_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sitam_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

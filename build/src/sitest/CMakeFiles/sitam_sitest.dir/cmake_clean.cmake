@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_sitest.dir/group.cpp.o"
+  "CMakeFiles/sitam_sitest.dir/group.cpp.o.d"
+  "CMakeFiles/sitam_sitest.dir/io.cpp.o"
+  "CMakeFiles/sitam_sitest.dir/io.cpp.o.d"
+  "libsitam_sitest.a"
+  "libsitam_sitest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_sitest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/benchmarks.cpp" "src/soc/CMakeFiles/sitam_soc.dir/benchmarks.cpp.o" "gcc" "src/soc/CMakeFiles/sitam_soc.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/soc/itc02.cpp" "src/soc/CMakeFiles/sitam_soc.dir/itc02.cpp.o" "gcc" "src/soc/CMakeFiles/sitam_soc.dir/itc02.cpp.o.d"
+  "/root/repo/src/soc/parser.cpp" "src/soc/CMakeFiles/sitam_soc.dir/parser.cpp.o" "gcc" "src/soc/CMakeFiles/sitam_soc.dir/parser.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/sitam_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/sitam_soc.dir/soc.cpp.o.d"
+  "/root/repo/src/soc/synth.cpp" "src/soc/CMakeFiles/sitam_soc.dir/synth.cpp.o" "gcc" "src/soc/CMakeFiles/sitam_soc.dir/synth.cpp.o.d"
+  "/root/repo/src/soc/writer.cpp" "src/soc/CMakeFiles/sitam_soc.dir/writer.cpp.o" "gcc" "src/soc/CMakeFiles/sitam_soc.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_soc.dir/benchmarks.cpp.o"
+  "CMakeFiles/sitam_soc.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/sitam_soc.dir/itc02.cpp.o"
+  "CMakeFiles/sitam_soc.dir/itc02.cpp.o.d"
+  "CMakeFiles/sitam_soc.dir/parser.cpp.o"
+  "CMakeFiles/sitam_soc.dir/parser.cpp.o.d"
+  "CMakeFiles/sitam_soc.dir/soc.cpp.o"
+  "CMakeFiles/sitam_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/sitam_soc.dir/synth.cpp.o"
+  "CMakeFiles/sitam_soc.dir/synth.cpp.o.d"
+  "CMakeFiles/sitam_soc.dir/writer.cpp.o"
+  "CMakeFiles/sitam_soc.dir/writer.cpp.o.d"
+  "libsitam_soc.a"
+  "libsitam_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

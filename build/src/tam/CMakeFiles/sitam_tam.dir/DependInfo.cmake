@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tam/annealing.cpp" "src/tam/CMakeFiles/sitam_tam.dir/annealing.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/annealing.cpp.o.d"
+  "/root/repo/src/tam/architecture.cpp" "src/tam/CMakeFiles/sitam_tam.dir/architecture.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/architecture.cpp.o.d"
+  "/root/repo/src/tam/area.cpp" "src/tam/CMakeFiles/sitam_tam.dir/area.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/area.cpp.o.d"
+  "/root/repo/src/tam/bounds.cpp" "src/tam/CMakeFiles/sitam_tam.dir/bounds.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/bounds.cpp.o.d"
+  "/root/repo/src/tam/evaluator.cpp" "src/tam/CMakeFiles/sitam_tam.dir/evaluator.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/evaluator.cpp.o.d"
+  "/root/repo/src/tam/exhaustive.cpp" "src/tam/CMakeFiles/sitam_tam.dir/exhaustive.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/tam/optimizer.cpp" "src/tam/CMakeFiles/sitam_tam.dir/optimizer.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/optimizer.cpp.o.d"
+  "/root/repo/src/tam/rectpack.cpp" "src/tam/CMakeFiles/sitam_tam.dir/rectpack.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/rectpack.cpp.o.d"
+  "/root/repo/src/tam/verify.cpp" "src/tam/CMakeFiles/sitam_tam.dir/verify.cpp.o" "gcc" "src/tam/CMakeFiles/sitam_tam.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wrapper/CMakeFiles/sitam_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/sitest/CMakeFiles/sitam_sitest.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sitam_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/sitam_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/sitam_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/sitam_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

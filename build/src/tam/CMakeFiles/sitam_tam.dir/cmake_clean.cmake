@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_tam.dir/annealing.cpp.o"
+  "CMakeFiles/sitam_tam.dir/annealing.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/architecture.cpp.o"
+  "CMakeFiles/sitam_tam.dir/architecture.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/area.cpp.o"
+  "CMakeFiles/sitam_tam.dir/area.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/bounds.cpp.o"
+  "CMakeFiles/sitam_tam.dir/bounds.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/evaluator.cpp.o"
+  "CMakeFiles/sitam_tam.dir/evaluator.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/exhaustive.cpp.o"
+  "CMakeFiles/sitam_tam.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/optimizer.cpp.o"
+  "CMakeFiles/sitam_tam.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/rectpack.cpp.o"
+  "CMakeFiles/sitam_tam.dir/rectpack.cpp.o.d"
+  "CMakeFiles/sitam_tam.dir/verify.cpp.o"
+  "CMakeFiles/sitam_tam.dir/verify.cpp.o.d"
+  "libsitam_tam.a"
+  "libsitam_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

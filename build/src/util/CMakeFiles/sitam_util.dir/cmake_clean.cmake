@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_util.dir/cli.cpp.o"
+  "CMakeFiles/sitam_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sitam_util.dir/json.cpp.o"
+  "CMakeFiles/sitam_util.dir/json.cpp.o.d"
+  "CMakeFiles/sitam_util.dir/log.cpp.o"
+  "CMakeFiles/sitam_util.dir/log.cpp.o.d"
+  "CMakeFiles/sitam_util.dir/rng.cpp.o"
+  "CMakeFiles/sitam_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sitam_util.dir/table.cpp.o"
+  "CMakeFiles/sitam_util.dir/table.cpp.o.d"
+  "libsitam_util.a"
+  "libsitam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wrapper/design.cpp" "src/wrapper/CMakeFiles/sitam_wrapper.dir/design.cpp.o" "gcc" "src/wrapper/CMakeFiles/sitam_wrapper.dir/design.cpp.o.d"
+  "/root/repo/src/wrapper/pareto.cpp" "src/wrapper/CMakeFiles/sitam_wrapper.dir/pareto.cpp.o" "gcc" "src/wrapper/CMakeFiles/sitam_wrapper.dir/pareto.cpp.o.d"
+  "/root/repo/src/wrapper/report.cpp" "src/wrapper/CMakeFiles/sitam_wrapper.dir/report.cpp.o" "gcc" "src/wrapper/CMakeFiles/sitam_wrapper.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/sitam_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

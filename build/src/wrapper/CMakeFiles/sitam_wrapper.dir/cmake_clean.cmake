@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam_wrapper.dir/design.cpp.o"
+  "CMakeFiles/sitam_wrapper.dir/design.cpp.o.d"
+  "CMakeFiles/sitam_wrapper.dir/pareto.cpp.o"
+  "CMakeFiles/sitam_wrapper.dir/pareto.cpp.o.d"
+  "CMakeFiles/sitam_wrapper.dir/report.cpp.o"
+  "CMakeFiles/sitam_wrapper.dir/report.cpp.o.d"
+  "libsitam_wrapper.a"
+  "libsitam_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

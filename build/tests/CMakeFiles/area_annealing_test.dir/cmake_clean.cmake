@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_annealing_test.dir/area_annealing_test.cpp.o"
+  "CMakeFiles/area_annealing_test.dir/area_annealing_test.cpp.o.d"
+  "area_annealing_test"
+  "area_annealing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_annealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

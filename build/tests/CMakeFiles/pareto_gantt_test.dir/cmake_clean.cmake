@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_gantt_test.dir/pareto_gantt_test.cpp.o"
+  "CMakeFiles/pareto_gantt_test.dir/pareto_gantt_test.cpp.o.d"
+  "pareto_gantt_test"
+  "pareto_gantt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_gantt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

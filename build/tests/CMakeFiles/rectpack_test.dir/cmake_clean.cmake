@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectpack_test.dir/rectpack_test.cpp.o"
+  "CMakeFiles/rectpack_test.dir/rectpack_test.cpp.o.d"
+  "rectpack_test"
+  "rectpack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

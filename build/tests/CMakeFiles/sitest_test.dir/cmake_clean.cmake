@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitest_test.dir/sitest_test.cpp.o"
+  "CMakeFiles/sitest_test.dir/sitest_test.cpp.o.d"
+  "sitest_test"
+  "sitest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

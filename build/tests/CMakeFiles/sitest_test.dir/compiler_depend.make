@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sitest_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tam_extensions_test.dir/tam_extensions_test.cpp.o"
+  "CMakeFiles/tam_extensions_test.dir/tam_extensions_test.cpp.o.d"
+  "tam_extensions_test"
+  "tam_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tam_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

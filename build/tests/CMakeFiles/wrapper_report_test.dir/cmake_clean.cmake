@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_report_test.dir/wrapper_report_test.cpp.o"
+  "CMakeFiles/wrapper_report_test.dir/wrapper_report_test.cpp.o.d"
+  "wrapper_report_test"
+  "wrapper_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitam.dir/sitam_cli.cpp.o"
+  "CMakeFiles/sitam.dir/sitam_cli.cpp.o.d"
+  "sitam"
+  "sitam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
