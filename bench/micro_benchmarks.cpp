@@ -1,8 +1,18 @@
 // google-benchmark microbenchmarks for the library's hot paths: wrapper
 // design, pattern generation, greedy compaction, hypergraph partitioning,
 // architecture evaluation (incl. Algorithm 1 scheduling) and the full
-// Algorithm 2 optimizer.
+// Algorithm 2 optimizer — serial and parallel/memoized.
+//
+// Before the registered benchmarks run, main() measures the multi-start
+// annealing chains serial-without-memo vs pooled-with-memo and writes the
+// comparison to BENCH_parallel.json in the working directory (skip with
+// --no_parallel_report).
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/flow.h"
 #include "hypergraph/partition.h"
@@ -17,7 +27,10 @@
 #include "tam/optimizer.h"
 #include "tam/rectpack.h"
 #include "tam/verify.h"
+#include "util/json.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "wrapper/design.h"
 
 namespace {
@@ -128,11 +141,7 @@ SiTestSet sample_tests(const Soc& soc, int parts) {
   return build_si_test_set(patterns, ts, parts, GroupingConfig{});
 }
 
-void BM_EvaluateArchitecture(benchmark::State& state) {
-  const Soc& soc = p93791();
-  const TestTimeTable table(soc, 64);
-  const SiTestSet tests = sample_tests(soc, 8);
-  const TamEvaluator evaluator(soc, table, tests);
+TamArchitecture eight_by_eight(const Soc& soc) {
   // A representative mid-optimization architecture: 8 rails of 8 wires.
   TamArchitecture arch;
   for (int r = 0; r < 8; ++r) {
@@ -141,11 +150,34 @@ void BM_EvaluateArchitecture(benchmark::State& state) {
     for (int c = r; c < soc.core_count(); c += 8) rail.cores.push_back(c);
     arch.rails.push_back(std::move(rail));
   }
+  return arch;
+}
+
+void BM_EvaluateArchitecture(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 64);
+  const SiTestSet tests = sample_tests(soc, 8);
+  EvaluatorOptions options;
+  options.memoize = false;  // measure the full timing model every time
+  const TamEvaluator evaluator(soc, table, tests, options);
+  const TamArchitecture arch = eight_by_eight(soc);
   for (auto _ : state) {
     benchmark::DoNotOptimize(evaluator.evaluate(arch));
   }
 }
 BENCHMARK(BM_EvaluateArchitecture);
+
+void BM_EvaluateArchitectureMemoized(benchmark::State& state) {
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 64);
+  const SiTestSet tests = sample_tests(soc, 8);
+  const TamEvaluator evaluator(soc, table, tests);  // memoize defaults on
+  const TamArchitecture arch = eight_by_eight(soc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(arch));
+  }
+}
+BENCHMARK(BM_EvaluateArchitectureMemoized);
 
 void BM_OptimizeTam(benchmark::State& state) {
   const Soc& soc = p93791();
@@ -157,6 +189,22 @@ void BM_OptimizeTam(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeTam)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_OptimizeTamRestarts(benchmark::State& state) {
+  // 8 restarts at the given thread count; Arg(1) is the serial baseline
+  // for the parallel speedup (results are identical by construction).
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 32);
+  const SiTestSet tests = sample_tests(soc, 4);
+  OptimizerConfig config;
+  config.restarts = 8;
+  config.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_tam(soc, table, tests, 32, config));
+  }
+}
+BENCHMARK(BM_OptimizeTamRestarts)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_Annealing(benchmark::State& state) {
   const Soc& soc = p93791();
@@ -206,6 +254,105 @@ void BM_ExhaustiveMini5(benchmark::State& state) {
 BENCHMARK(BM_ExhaustiveMini5)->Arg(4)->Arg(8)->Arg(12)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_parallel.json: serial vs parallel multi-start, memo hit rate.
+// ---------------------------------------------------------------------------
+
+void write_parallel_report(const std::string& path) {
+  // Annealing chains exercise both halves of the tentpole: the chain
+  // fan-out across the pool and the memo cache (whose hit rate dominates
+  // the speedup on single-core hosts, where the pool can't help). d695's
+  // compact architecture space keeps the chains re-proposing seen designs
+  // (hit rate ~85 %), so the scalar t_soc cache answers most scoring
+  // calls without running the timing model.
+  const Soc soc = load_benchmark("d695");
+  const int w_max = 16;
+  const int chains = 8;
+  const TestTimeTable table(soc, w_max);
+  const SiTestSet tests = sample_tests(soc, 8);
+
+  AnnealingConfig serial;
+  serial.iterations = 20000;
+  serial.chains = chains;
+  serial.threads = 1;
+  serial.evaluator.memoize = false;
+
+  AnnealingConfig parallel = serial;
+  parallel.threads = 8;
+  parallel.evaluator.memoize = true;
+
+  Stopwatch serial_watch;
+  const OptimizeResult serial_result =
+      optimize_tam_annealing(soc, table, tests, w_max, serial);
+  const double serial_seconds = serial_watch.seconds();
+
+  Stopwatch parallel_watch;
+  const OptimizeResult parallel_result =
+      optimize_tam_annealing(soc, table, tests, w_max, parallel);
+  const double parallel_seconds = parallel_watch.seconds();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("soc").value(soc.name);
+  json.key("w_max").value(std::int64_t{w_max});
+  json.key("chains").value(std::int64_t{chains});
+  json.key("iterations").value(std::int64_t{serial.iterations});
+  json.key("hardware_threads").value(
+      std::int64_t{ThreadPool::hardware_threads()});
+  json.key("serial").begin_object();
+  json.key("threads").value(std::int64_t{1});
+  json.key("memoize").value(false);
+  json.key("seconds").value(serial_seconds);
+  json.key("evaluations").value(serial_result.stats.evaluations);
+  json.key("t_soc").value(serial_result.evaluation.t_soc);
+  json.end_object();
+  json.key("parallel").begin_object();
+  json.key("threads").value(std::int64_t{8});
+  json.key("memoize").value(true);
+  json.key("seconds").value(parallel_seconds);
+  json.key("evaluations").value(parallel_result.stats.evaluations);
+  json.key("cache_hits").value(parallel_result.stats.cache_hits);
+  json.key("cache_hit_rate").value(parallel_result.stats.hit_rate());
+  json.key("t_soc").value(parallel_result.evaluation.t_soc);
+  json.end_object();
+  json.key("speedup").value(
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
+  json.key("results_identical")
+      .value(serial_result.evaluation.t_soc ==
+             parallel_result.evaluation.t_soc);
+  json.end_object();
+
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  std::cout << "wrote " << path << ": serial " << serial_seconds
+            << " s, parallel " << parallel_seconds << " s ("
+            << serial_seconds / std::max(1e-9, parallel_seconds)
+            << "x), memo hit rate "
+            << 100.0 * parallel_result.stats.hit_rate() << " %\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool parallel_report = true;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no_parallel_report") {
+      parallel_report = false;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (parallel_report) write_parallel_report("BENCH_parallel.json");
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,9 @@
 //   --csv               also dump CSV after each table
 //   --fast              shrink N_r by 10x (CI-friendly smoke run)
 //   --cache=DIR         reuse compacted test sets across runs
+//   --restarts=N        Algorithm 2 restarts per optimization
+//   --threads=T         restart-loop worker threads (0 = all cores)
+//   --no-cache-evals    disable the evaluator memo cache
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,13 @@ inline int run_table_bench(const std::string& soc_name, int argc,
     for (auto& n : pattern_counts) n = std::max<std::int64_t>(100, n / 10);
   }
   std::vector<int> widths(width_args.begin(), width_args.end());
+
+  OptimizerConfig optimizer;
+  optimizer.restarts =
+      static_cast<int>(args.get_or("restarts", std::int64_t{1}));
+  optimizer.threads =
+      static_cast<int>(args.get_or("threads", std::int64_t{1}));
+  optimizer.evaluator.memoize = !args.has("no-cache-evals");
 
   const Soc soc = load_benchmark(soc_name);
   std::cout << "=== " << soc_name
@@ -73,11 +83,19 @@ inline int run_table_bench(const std::string& soc_name, int argc,
               << " s)\n\n";
 
     Stopwatch sweep_watch;
-    const SweepResult sweep = run_sweep(workload, widths);
+    const SweepResult sweep = run_sweep(workload, widths, optimizer);
+    EvaluatorStats evals;
+    for (const ExperimentOutcome& row : sweep.rows) {
+      for (const OptimizeResult& result : row.per_grouping) {
+        evals += result.stats;
+      }
+    }
     std::cout << sweep_caption(sweep) << "\n"
               << render_paper_table(sweep)
               << "(TAM optimization for all rows: " << sweep_watch.seconds()
-              << " s)\n\n";
+              << " s; " << evals.evaluations << " architecture evaluations, "
+              << evals.cache_hits << " memo hits = "
+              << 100.0 * evals.hit_rate() << " % hit rate)\n\n";
     if (args.has("csv")) {
       std::cout << render_paper_table(sweep).csv() << "\n";
     }

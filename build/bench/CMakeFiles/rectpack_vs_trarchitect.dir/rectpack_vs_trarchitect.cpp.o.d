@@ -166,5 +166,13 @@ bench/CMakeFiles/rectpack_vs_trarchitect.dir/rectpack_vs_trarchitect.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/interconnect/terminal_space.h \
  /root/repo/src/pattern/compaction.h /root/repo/src/pattern/pattern.h \
  /root/repo/src/pattern/value.h /root/repo/src/tam/architecture.h \
- /root/repo/src/tam/evaluator.h /root/repo/src/wrapper/design.h \
+ /root/repo/src/tam/evaluator.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/wrapper/design.h \
  /root/repo/src/tam/rectpack.h /root/repo/src/util/table.h

@@ -133,9 +133,17 @@ src/tam/CMakeFiles/sitam_tam.dir/exhaustive.cpp.o: \
  /root/repo/src/interconnect/terminal_space.h /root/repo/src/soc/soc.h \
  /root/repo/src/pattern/compaction.h /root/repo/src/pattern/pattern.h \
  /root/repo/src/pattern/value.h /root/repo/src/tam/evaluator.h \
- /root/repo/src/tam/architecture.h /root/repo/src/wrapper/design.h \
- /root/repo/src/tam/optimizer.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/tam/architecture.h \
+ /root/repo/src/wrapper/design.h /root/repo/src/tam/optimizer.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sitam_util.dir/rng.cpp.o.d"
   "CMakeFiles/sitam_util.dir/table.cpp.o"
   "CMakeFiles/sitam_util.dir/table.cpp.o.d"
+  "CMakeFiles/sitam_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sitam_util.dir/thread_pool.cpp.o.d"
   "libsitam_util.a"
   "libsitam_util.pdb"
 )

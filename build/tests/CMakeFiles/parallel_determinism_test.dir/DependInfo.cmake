@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_determinism_test.cpp" "tests/CMakeFiles/parallel_determinism_test.dir/parallel_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_determinism_test.dir/parallel_determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sitam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tam/CMakeFiles/sitam_tam.dir/DependInfo.cmake"
+  "/root/repo/build/src/sitest/CMakeFiles/sitam_sitest.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/sitam_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/sitam_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/sitam_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/sitam_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/sitam_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sitam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

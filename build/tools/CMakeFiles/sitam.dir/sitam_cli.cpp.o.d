@@ -175,18 +175,21 @@ tools/CMakeFiles/sitam.dir/sitam_cli.cpp.o: \
  /root/repo/src/hypergraph/hypergraph.h \
  /root/repo/src/pattern/compaction.h /root/repo/src/tam/optimizer.h \
  /root/repo/src/tam/architecture.h /root/repo/src/tam/evaluator.h \
- /root/repo/src/wrapper/design.h /root/repo/src/core/gantt.h \
- /root/repo/src/core/report.h /root/repo/src/util/table.h \
- /root/repo/src/soc/benchmarks.h /root/repo/src/soc/itc02.h \
- /root/repo/src/soc/parser.h /root/repo/src/soc/synth.h \
- /root/repo/src/soc/writer.h /root/repo/src/tam/area.h \
- /root/repo/src/tam/bounds.h /root/repo/src/tam/verify.h \
- /root/repo/src/util/cli.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/json.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/wrapper/design.h \
+ /root/repo/src/core/gantt.h /root/repo/src/core/report.h \
+ /root/repo/src/util/table.h /root/repo/src/soc/benchmarks.h \
+ /root/repo/src/soc/itc02.h /root/repo/src/soc/parser.h \
+ /root/repo/src/soc/synth.h /root/repo/src/soc/writer.h \
+ /root/repo/src/tam/area.h /root/repo/src/tam/bounds.h \
+ /root/repo/src/tam/verify.h /root/repo/src/util/cli.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/json.h \
  /root/repo/src/wrapper/report.h

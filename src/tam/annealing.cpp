@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sitam {
 
@@ -102,6 +105,56 @@ bool mutate(TamArchitecture& arch, Rng& rng) {
   }
 }
 
+/// One annealing chain from `start`, drawing from its own Rng seed and
+/// scoring with its own evaluator (evaluators are not thread-safe).
+OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
+                         const SiTestSet& tests, int w_max,
+                         const AnnealingConfig& config,
+                         const TamArchitecture& start, std::uint64_t seed) {
+  const TamEvaluator evaluator(soc, table, tests, config.evaluator);
+  Rng rng(seed);
+
+  TamArchitecture current = start;
+  std::int64_t current_t = evaluator.t_soc(current);
+
+  TamArchitecture best = current;
+  std::int64_t best_t = current_t;
+
+  const double t0 =
+      std::max(1.0, config.initial_temperature_fraction *
+                        static_cast<double>(current_t));
+  const double t_end = std::max(1e-6, t0 * config.final_temperature_fraction);
+  const int iterations = std::max(1, config.iterations);
+  const double alpha =
+      std::pow(t_end / t0, 1.0 / static_cast<double>(iterations));
+
+  double temperature = t0;
+  TamArchitecture candidate;  // hoisted so the copy below reuses its heap
+  for (int i = 0; i < iterations; ++i, temperature *= alpha) {
+    candidate = current;
+    if (!mutate(candidate, rng)) continue;
+    const std::int64_t candidate_t = evaluator.t_soc(candidate);
+    const std::int64_t delta = candidate_t - current_t;
+    if (delta <= 0 ||
+        rng.unit() < std::exp(-static_cast<double>(delta) / temperature)) {
+      std::swap(current, candidate);  // keep both buffers alive for reuse
+      current_t = candidate_t;
+      if (current_t < best_t) {
+        best = current;
+        best_t = current_t;
+      }
+    }
+  }
+
+  SITAM_CHECK(best.total_width() == w_max);
+  best.validate(soc.core_count());
+  OptimizeResult result;
+  result.evaluation = evaluator.evaluate(best);
+  result.architecture = std::move(best);
+  result.stats = evaluator.stats();
+  return result;
+}
+
 }  // namespace
 
 OptimizeResult optimize_tam_annealing(const Soc& soc,
@@ -116,53 +169,63 @@ OptimizeResult optimize_tam_annealing(const Soc& soc,
     throw std::invalid_argument("optimize_tam_annealing: SOC has no cores");
   }
 
-  const TamEvaluator evaluator(soc, table, tests, config.evaluator);
-  Rng rng(config.seed);
-
-  TamArchitecture current;
+  EvaluatorStats warm_start_stats;
+  TamArchitecture start;
   if (config.warm_start) {
     OptimizerConfig alg2;
     alg2.evaluator = config.evaluator;
-    current = optimize_tam(soc, table, tests, w_max, alg2).architecture;
+    alg2.threads = config.threads;
+    OptimizeResult seeded = optimize_tam(soc, table, tests, w_max, alg2);
+    warm_start_stats = seeded.stats;
+    start = std::move(seeded.architecture);
   } else {
-    current = round_robin_start(soc.core_count(), w_max);
+    start = round_robin_start(soc.core_count(), w_max);
   }
-  std::int64_t current_t = evaluator.evaluate(current).t_soc;
 
-  TamArchitecture best = current;
-  std::int64_t best_t = current_t;
+  const int chains = std::max(1, config.chains);
+  const int threads =
+      std::min(config.threads == 0 ? ThreadPool::hardware_threads()
+                                   : std::max(1, config.threads),
+               chains);
+  const auto chain_seed = [&](int chain) {
+    return chain == 0 ? config.seed
+                      : split_stream(config.seed,
+                                     static_cast<std::uint64_t>(chain));
+  };
 
-  const double t0 =
-      std::max(1.0, config.initial_temperature_fraction *
-                        static_cast<double>(current_t));
-  const double t_end = std::max(1e-6, t0 * config.final_temperature_fraction);
-  const int iterations = std::max(1, config.iterations);
-  const double alpha =
-      std::pow(t_end / t0, 1.0 / static_cast<double>(iterations));
+  std::vector<OptimizeResult> results;
+  results.reserve(static_cast<std::size_t>(chains));
+  if (threads <= 1) {
+    for (int chain = 0; chain < chains; ++chain) {
+      results.push_back(run_chain(soc, table, tests, w_max, config, start,
+                                  chain_seed(chain)));
+    }
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<OptimizeResult>> futures;
+    futures.reserve(static_cast<std::size_t>(chains));
+    for (int chain = 0; chain < chains; ++chain) {
+      futures.push_back(pool.submit([&, chain] {
+        return run_chain(soc, table, tests, w_max, config, start,
+                         chain_seed(chain));
+      }));
+    }
+    for (auto& future : futures) results.push_back(future.get());
+  }
 
-  double temperature = t0;
-  for (int i = 0; i < iterations; ++i, temperature *= alpha) {
-    TamArchitecture candidate = current;
-    if (!mutate(candidate, rng)) continue;
-    const std::int64_t candidate_t = evaluator.evaluate(candidate).t_soc;
-    const std::int64_t delta = candidate_t - current_t;
-    if (delta <= 0 ||
-        rng.unit() < std::exp(-static_cast<double>(delta) / temperature)) {
-      current = std::move(candidate);
-      current_t = candidate_t;
-      if (current_t < best_t) {
-        best = current;
-        best_t = current_t;
-      }
+  // Winner: lowest T_soc, ties broken by lowest chain index; stats sum
+  // over every chain (plus the warm start's own optimization).
+  std::size_t best = 0;
+  EvaluatorStats total = warm_start_stats;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    total += results[i].stats;
+    if (results[i].evaluation.t_soc < results[best].evaluation.t_soc) {
+      best = i;
     }
   }
-
-  SITAM_CHECK(best.total_width() == w_max);
-  best.validate(soc.core_count());
-  OptimizeResult result;
-  result.evaluation = evaluator.evaluate(best);
-  result.architecture = std::move(best);
-  return result;
+  OptimizeResult winner = std::move(results[best]);
+  winner.stats = total;
+  return winner;
 }
 
 }  // namespace sitam

@@ -30,9 +30,19 @@ struct AnnealingConfig {
   /// Seed the search from Algorithm 2's result instead of a round-robin
   /// architecture (then annealing acts as a refinement pass).
   bool warm_start = false;
+  /// Independent annealing chains, all from the same start solution.
+  /// Chain 0 draws from Rng(seed) — the single-chain trajectory is
+  /// unchanged — and chain c > 0 from Rng(split_stream(seed, c)). The
+  /// winner is the chain with the lowest T_soc (ties: lowest chain index).
+  int chains = 1;
+  /// Worker threads for the chains: 1 = serial, 0 = one per hardware
+  /// thread. Chains own their evaluator and RNG, so results are
+  /// bit-identical for every thread count.
+  int threads = 1;
 };
 
-/// Returns the best architecture found; deterministic for a fixed config.
+/// Returns the best architecture found; deterministic for a fixed config
+/// regardless of thread count.
 /// Throws std::invalid_argument for w_max < 1 or an empty SOC.
 [[nodiscard]] OptimizeResult optimize_tam_annealing(
     const Soc& soc, const TestTimeTable& table, const SiTestSet& tests,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sitam {
 
@@ -78,7 +79,109 @@ std::int64_t TamEvaluator::si_group_time(
   return duration;
 }
 
+namespace {
+
+// One traversal, both salted states — the memo's hit path computes the key
+// and the check hash together, so keep the per-salt mixing byte-identical
+// to architecture_hash(arch, salt).
+struct DualHash {
+  std::uint64_t key;
+  std::uint64_t check;
+};
+
+DualHash architecture_hash_pair(const TamArchitecture& arch) {
+  std::uint64_t h0 = 0x51a7ca5eULL;
+  std::uint64_t h1 = 0x51a7ca5eULL ^ 0x94d049bb133111ebULL;
+  const auto mix = [&h0, &h1](std::uint64_t value) {
+    h0 ^= value + 0x9e3779b97f4a7c15ULL + (h0 << 6) + (h0 >> 2);
+    h0 = split_mix64(h0);
+    h1 ^= value + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2);
+    h1 = split_mix64(h1);
+  };
+  mix(arch.rails.size());
+  for (const TestRail& rail : arch.rails) {
+    mix(static_cast<std::uint64_t>(rail.width));
+    mix(rail.cores.size());
+    for (const int core : rail.cores) {
+      mix(static_cast<std::uint64_t>(core));
+    }
+  }
+  return DualHash{h0, h1};
+}
+
+}  // namespace
+
+std::uint64_t TamEvaluator::architecture_hash(const TamArchitecture& arch,
+                                              std::uint64_t salt) {
+  // Same mix pattern as workload_cache_key (core/cache.cpp): fold each
+  // value into the running hash, then finalize with SplitMix64.
+  std::uint64_t h = 0x51a7ca5eULL ^ (salt * 0x94d049bb133111ebULL);
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = split_mix64(h);
+  };
+  mix(arch.rails.size());
+  for (const TestRail& rail : arch.rails) {
+    mix(static_cast<std::uint64_t>(rail.width));
+    mix(rail.cores.size());
+    for (const int core : rail.cores) {
+      mix(static_cast<std::uint64_t>(core));
+    }
+  }
+  return h;
+}
+
 Evaluation TamEvaluator::evaluate(const TamArchitecture& arch) const {
+  ++stats_.evaluations;
+  if (!options_.memoize) {
+    ++stats_.cache_misses;
+    return evaluate_uncached(arch);
+  }
+  return memo_lookup(arch).evaluation;
+}
+
+std::int64_t TamEvaluator::t_soc(const TamArchitecture& arch) const {
+  ++stats_.evaluations;
+  if (!options_.memoize) {
+    ++stats_.cache_misses;
+    return evaluate_uncached(arch).t_soc;
+  }
+  // This is the optimizers' inner-loop call: a hit costs one dual-hash
+  // traversal and a find, and a miss stores a 16-byte scalar entry — the
+  // full-Evaluation memo is never copied into or out of here.
+  const DualHash hash = architecture_hash_pair(arch);
+  if (const auto it = scalar_memo_.find(hash.key);
+      it != scalar_memo_.end() && it->second.check == hash.check) {
+    ++stats_.cache_hits;
+    return it->second.t_soc;
+  }
+  if (const auto it = memo_.find(hash.key);
+      it != memo_.end() && it->second.check == hash.check) {
+    ++stats_.cache_hits;
+    return it->second.evaluation.t_soc;
+  }
+  ++stats_.cache_misses;
+  const std::int64_t t = evaluate_uncached(arch).t_soc;
+  if (scalar_memo_.size() >= kMemoCapacity) scalar_memo_.clear();
+  scalar_memo_.emplace(hash.key, ScalarEntry{hash.check, t});
+  return t;
+}
+
+const TamEvaluator::MemoEntry& TamEvaluator::memo_lookup(
+    const TamArchitecture& arch) const {
+  const DualHash hash = architecture_hash_pair(arch);
+  if (const auto it = memo_.find(hash.key);
+      it != memo_.end() && it->second.check == hash.check) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  Evaluation ev = evaluate_uncached(arch);
+  if (memo_.size() >= kMemoCapacity) memo_.clear();
+  return memo_[hash.key] = MemoEntry{hash.check, std::move(ev)};
+}
+
+Evaluation TamEvaluator::evaluate_uncached(const TamArchitecture& arch) const {
   const int cores = soc_->core_count();
   Evaluation ev;
   ev.rails.resize(arch.rails.size());

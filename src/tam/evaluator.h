@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sitest/group.h"
@@ -61,6 +62,12 @@ inline constexpr std::int64_t kBusSwitchCycles = 4;
 struct EvaluatorOptions {
   SchedulePick pick = SchedulePick::kLongestFirst;
   ArchitectureStyle style = ArchitectureStyle::kTestRail;
+  /// Memoize evaluate() results keyed by a 64-bit architecture hash. The
+  /// optimizer's merge/sweep loops revisit near-identical architectures
+  /// constantly, so hits dominate on the hot path; a memoized answer is the
+  /// stored Evaluation verbatim, so results are identical either way (up to
+  /// an astronomically unlikely double 64-bit hash collision).
+  bool memoize = true;
   /// Peak-power budget for concurrently running SI tests (same units as
   /// SiTestGroup::power; see assign_si_power). 0 = unconstrained. The
   /// evaluator rejects test sets containing a group whose own power already
@@ -120,6 +127,32 @@ struct Evaluation {
   SiSchedule schedule;
 };
 
+/// Evaluation-count bookkeeping for one TamEvaluator (and, summed, for a
+/// whole optimizer run). Every evaluate() call — including the ones made
+/// through the t_soc() convenience — counts; cache_hits were answered from
+/// the memo cache, cache_misses ran the full timing model, and the two
+/// always add up to `evaluations`. With memoization enabled, cache_misses
+/// equals the number of distinct architectures seen (while under the memo
+/// capacity).
+struct EvaluatorStats {
+  std::int64_t evaluations = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return evaluations == 0 ? 0.0
+                            : static_cast<double>(cache_hits) /
+                                  static_cast<double>(evaluations);
+  }
+
+  EvaluatorStats& operator+=(const EvaluatorStats& other) {
+    evaluations += other.evaluations;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    return *this;
+  }
+};
+
 /// Binds a SOC, its precomputed wrapper time table and an SI test set, and
 /// evaluates TestRail architectures against them. The optimizer calls
 /// evaluate() hundreds of thousands of times, so the implementation reuses
@@ -133,13 +166,15 @@ class TamEvaluator {
 
   /// Full evaluation: rail times, Algorithm 1 schedule, T_soc.
   /// The architecture must be valid for this SOC (validate() it first when
-  /// it comes from outside the optimizer).
+  /// it comes from outside the optimizer). Answered from the memo cache
+  /// when EvaluatorOptions::memoize is on and the architecture was seen
+  /// before.
   [[nodiscard]] Evaluation evaluate(const TamArchitecture& arch) const;
 
-  /// Convenience: just T_soc.
-  [[nodiscard]] std::int64_t t_soc(const TamArchitecture& arch) const {
-    return evaluate(arch).t_soc;
-  }
+  /// Convenience: just T_soc. With memoization on, a hit returns the
+  /// cached scalar without copying the stored Evaluation — use this (not
+  /// evaluate().t_soc) in scoring loops.
+  [[nodiscard]] std::int64_t t_soc(const TamArchitecture& arch) const;
 
   /// CalculateSITestTime for one group: duration and bottleneck rail.
   /// `rail_of_core` must come from arch.rail_of_core(core_count()).
@@ -152,16 +187,57 @@ class TamEvaluator {
   [[nodiscard]] const SiTestSet& tests() const { return *tests_; }
   [[nodiscard]] const TestTimeTable& table() const { return *table_; }
 
+  /// Hit/miss/eval counters since construction (or the last reset).
+  [[nodiscard]] const EvaluatorStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EvaluatorStats{}; }
+
+  /// 64-bit hash of the evaluation-relevant architecture state: rail
+  /// count, and per rail (in order) its width and core set. Rail ids are
+  /// optimizer bookkeeping and do not participate. `salt` selects one of
+  /// two independent mixes (the memo cache verifies both to make a
+  /// colliding lookup need a simultaneous 128-bit collision).
+  [[nodiscard]] static std::uint64_t architecture_hash(
+      const TamArchitecture& arch, std::uint64_t salt = 0);
+
  private:
   // SI busy time of one rail given per-pattern scan length and core count.
   [[nodiscard]] std::int64_t rail_si_busy(std::int64_t shift,
                                           std::int64_t involved_cores,
                                           std::int64_t patterns) const;
 
+  // The uncached timing model (the body of evaluate()).
+  [[nodiscard]] Evaluation evaluate_uncached(const TamArchitecture& arch) const;
+
+  struct MemoEntry;
+  // Memoizing lookup: returns the (possibly just inserted) cache entry for
+  // `arch` and bumps the hit/miss counters. Only called with memoize on.
+  const MemoEntry& memo_lookup(const TamArchitecture& arch) const;
+
   const Soc* soc_;
   const TestTimeTable* table_;
   const SiTestSet* tests_;
   EvaluatorOptions options_;
+
+  // Memo cache: primary hash -> (check hash, result). Cleared wholesale
+  // when it outgrows kMemoCapacity — the optimizer's working set is tiny
+  // compared to the cap, so eviction is a non-event in practice.
+  struct MemoEntry {
+    std::uint64_t check = 0;
+    Evaluation evaluation;
+  };
+  static constexpr std::size_t kMemoCapacity = 1 << 16;
+  mutable std::unordered_map<std::uint64_t, MemoEntry> memo_;
+
+  // Scalar side-cache for the t_soc() hot path: 16 bytes per entry, so a
+  // miss never stores (and a hit never touches) a full Evaluation. Kept
+  // separate from memo_ because the scoring loops see mostly-unique
+  // architectures whose full evaluations would be dead weight.
+  struct ScalarEntry {
+    std::uint64_t check = 0;
+    std::int64_t t_soc = 0;
+  };
+  mutable std::unordered_map<std::uint64_t, ScalarEntry> scalar_memo_;
+  mutable EvaluatorStats stats_;
 
   // Scratch reused across evaluate() calls (single-threaded use).
   mutable std::vector<int> rail_of_core_;

@@ -5,9 +5,12 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sitam {
 
@@ -42,13 +45,16 @@ class Optimizer {
     OptimizeResult result;
     result.evaluation = eval_.evaluate(arch);
     result.architecture = std::move(arch);
+    // The evaluator counts every evaluate() call — including the direct
+    // ones above and in order_by_time_used/distribute_cheap/sweep, which a
+    // counter in t_soc() alone would miss.
+    result.stats = eval_.stats();
     return result;
   }
 
  private:
   [[nodiscard]] std::int64_t t_soc(const TamArchitecture& arch) const {
-    ++evals_;
-    return eval_.evaluate(arch).t_soc;
+    return eval_.t_soc(arch);  // copy-free on a memo hit
   }
 
   [[nodiscard]] int fresh_id() { return next_id_++; }
@@ -336,32 +342,77 @@ class Optimizer {
   OptimizerConfig config_;
   TamEvaluator eval_;
   int next_id_ = 0;
-  mutable std::int64_t evals_ = 0;
 };
+
+}  // namespace
+
+namespace {
+
+/// One Algorithm 2 pass for restart `index`: index 0 is the paper's
+/// deterministic core order, later indices shuffle it with their own RNG
+/// stream. Self-contained so restarts can run on any thread.
+OptimizeResult run_restart(const Soc& soc, const TestTimeTable& table,
+                           const SiTestSet& tests, int w_max,
+                           const OptimizerConfig& config, int index) {
+  std::vector<int> order(static_cast<std::size_t>(soc.core_count()));
+  std::iota(order.begin(), order.end(), 0);
+  if (index > 0) {
+    Rng rng(split_stream(config.restart_seed,
+                         static_cast<std::uint64_t>(index)));
+    rng.shuffle(order);
+  }
+  Optimizer attempt(soc, table, tests, w_max, config);
+  return attempt.run(order);
+}
+
+/// Winner rule shared by the serial and pooled paths: lowest t_soc, ties
+/// broken by lowest restart index. `results` is in restart-index order, so
+/// a linear scan with strict `<` implements exactly that.
+OptimizeResult pick_winner(std::vector<OptimizeResult> results) {
+  SITAM_CHECK(!results.empty());
+  std::size_t best = 0;
+  EvaluatorStats total;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    total += results[i].stats;
+    if (results[i].evaluation.t_soc < results[best].evaluation.t_soc) {
+      best = i;
+    }
+  }
+  OptimizeResult winner = std::move(results[best]);
+  winner.stats = total;
+  return winner;
+}
 
 }  // namespace
 
 OptimizeResult optimize_tam(const Soc& soc, const TestTimeTable& table,
                             const SiTestSet& tests, int w_max,
                             const OptimizerConfig& config) {
-  std::vector<int> order(static_cast<std::size_t>(soc.core_count()));
-  std::iota(order.begin(), order.end(), 0);
+  const int restarts = std::max(1, config.restarts);
+  const int threads =
+      std::min(config.threads == 0 ? ThreadPool::hardware_threads()
+                                   : std::max(1, config.threads),
+               restarts);
 
-  Optimizer first(soc, table, tests, w_max, config);
-  OptimizeResult best = first.run(order);
-
-  // Additional restarts with permuted initial core orders: the algorithm
-  // is unchanged, only its (unspecified) tie-breaks differ.
-  Rng rng(config.restart_seed);
-  for (int restart = 1; restart < config.restarts; ++restart) {
-    rng.shuffle(order);
-    Optimizer attempt(soc, table, tests, w_max, config);
-    OptimizeResult candidate = attempt.run(order);
-    if (candidate.evaluation.t_soc < best.evaluation.t_soc) {
-      best = std::move(candidate);
+  std::vector<OptimizeResult> results;
+  results.reserve(static_cast<std::size_t>(restarts));
+  if (threads <= 1) {
+    for (int restart = 0; restart < restarts; ++restart) {
+      results.push_back(
+          run_restart(soc, table, tests, w_max, config, restart));
     }
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<OptimizeResult>> futures;
+    futures.reserve(static_cast<std::size_t>(restarts));
+    for (int restart = 0; restart < restarts; ++restart) {
+      futures.push_back(pool.submit([&, restart] {
+        return run_restart(soc, table, tests, w_max, config, restart);
+      }));
+    }
+    for (auto& future : futures) results.push_back(future.get());
   }
-  return best;
+  return pick_winner(std::move(results));
 }
 
 OptimizeResult optimize_intest_only(const Soc& soc, const TestTimeTable& table,

@@ -38,13 +38,26 @@ struct OptimizerConfig {
   /// order (different tie-breaks => different trajectories) — and keep the
   /// best result. 1 = the paper's single pass.
   int restarts = 1;
-  /// Seed for the restart permutations.
+  /// Seed for the restart permutations. Restart i > 0 shuffles the
+  /// identity order with an Rng seeded from split_stream(restart_seed, i),
+  /// so every restart's trajectory is independent of how the others are
+  /// scheduled.
   std::uint64_t restart_seed = 0x5eedULL;
+  /// Worker threads for the restart loop: 1 = serial, 0 = one per
+  /// hardware thread. Restarts are fully independent (own Optimizer, own
+  /// evaluator, own RNG stream) and the winner is chosen by
+  /// (t_soc, restart index), so the result is bit-identical for every
+  /// thread count.
+  int threads = 1;
 };
 
 struct OptimizeResult {
   TamArchitecture architecture;
   Evaluation evaluation;
+  /// Evaluation counters summed over every restart/chain that contributed
+  /// to this result (each owns a private evaluator, so the sum is
+  /// deterministic regardless of thread count).
+  EvaluatorStats stats;
 };
 
 /// Solves Problem P_SI_opt: minimizes T_soc = T_in + T_si over TestRail

@@ -248,4 +248,27 @@ std::vector<std::string> verify_evaluation(const Soc& soc,
   return verifier.run();
 }
 
+std::vector<std::string> verify_stats(const EvaluatorStats& stats) {
+  std::vector<std::string> problems;
+  const auto fail = [&problems](auto&&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    problems.push_back(os.str());
+  };
+  if (stats.evaluations < 0 || stats.cache_hits < 0 ||
+      stats.cache_misses < 0) {
+    fail("negative evaluator counter: evaluations=", stats.evaluations,
+         " hits=", stats.cache_hits, " misses=", stats.cache_misses);
+  }
+  if (stats.cache_hits + stats.cache_misses != stats.evaluations) {
+    fail("hits + misses = ", stats.cache_hits + stats.cache_misses,
+         " does not add up to ", stats.evaluations, " evaluations");
+  }
+  if (stats.evaluations == 0) {
+    fail("no evaluations recorded: an optimizer result always evaluates "
+         "at least its final architecture");
+  }
+  return problems;
+}
+
 }  // namespace sitam

@@ -33,4 +33,11 @@ namespace sitam {
     const TamArchitecture& arch, const Evaluation& evaluation,
     const EvaluatorOptions& options = {});
 
+/// Sanity-checks evaluator counters: non-negative, hits + misses equal to
+/// the total evaluation count, and a non-empty count when a result was
+/// produced. Same contract as verify_evaluation: a list of human-readable
+/// violations, empty = verified.
+[[nodiscard]] std::vector<std::string> verify_stats(
+    const EvaluatorStats& stats);
+
 }  // namespace sitam

@@ -24,6 +24,15 @@ namespace sitam {
   return z ^ (z >> 31);
 }
 
+/// Derives an independent seed for stream `index` of a master `seed` via
+/// SplitMix64. Parallel restarts/chains each seed an Rng from their own
+/// stream so results do not depend on execution order or thread count.
+[[nodiscard]] constexpr std::uint64_t split_stream(std::uint64_t seed,
+                                                   std::uint64_t index) noexcept {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return split_mix64(state);
+}
+
 /// xoshiro256** 1.0 with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

@@ -1,0 +1,77 @@
+// Fixed-size worker thread pool with futures-based task submission.
+//
+// The optimizer's restart loop and the annealing chains are embarrassingly
+// parallel: every unit of work owns its Optimizer/TamEvaluator instance and
+// only the final winner selection needs the results together. ThreadPool
+// gives those callers a deterministic harness: submit() returns a
+// std::future so results are collected in *submission* order regardless of
+// which worker finishes first, and exceptions thrown inside a task surface
+// at future::get() instead of terminating a worker. shutdown() (also run
+// by the destructor) drains every queued task before joining, so no
+// submitted work is silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sitam {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers. Throws std::invalid_argument for
+  /// threads < 1.
+  explicit ThreadPool(int threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers (see shutdown()).
+  ~ThreadPool();
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency clamped to >= 1 (the standard
+  /// allows it to report 0 when the count is unknowable).
+  [[nodiscard]] static int hardware_threads();
+
+  /// Stops accepting new tasks, runs everything already queued, then joins
+  /// the workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Enqueues `task` and returns a future for its result. A task that
+  /// throws stores the exception in the future (rethrown by get()).
+  /// Throws std::runtime_error after shutdown().
+  template <typename F>
+  auto submit(F task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    // shared_ptr because std::function requires copyable callables and
+    // packaged_task is move-only.
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::move(task));
+    std::future<Result> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> wrapped);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace sitam

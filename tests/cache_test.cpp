@@ -1,10 +1,12 @@
-// Tests for the workload cache.
+// Tests for the workload cache and the evaluator's memo cache.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
 #include "core/cache.h"
 #include "soc/benchmarks.h"
+#include "tam/evaluator.h"
+#include "wrapper/design.h"
 
 namespace sitam {
 namespace {
@@ -113,6 +115,126 @@ TEST_F(CacheTest, FromPreparedValidatesShape) {
   EXPECT_THROW((void)SiWorkload::from_prepared(soc, config(),
                                                std::move(wrong)),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator memo cache.
+// ---------------------------------------------------------------------------
+
+class EvaluatorMemoTest : public ::testing::Test {
+ protected:
+  EvaluatorMemoTest() : table_(soc_, 8) {
+    SiTestGroup group;
+    group.label = "g1";
+    group.cores = {0, 2};
+    group.patterns = 50;
+    group.raw_patterns = 50;
+    tests_.groups.push_back(std::move(group));
+  }
+
+  static TamArchitecture two_rails() {
+    TamArchitecture arch;
+    arch.rails.resize(2);
+    arch.rails[0].cores = {0, 1};
+    arch.rails[0].width = 3;
+    arch.rails[1].cores = {2, 3, 4};
+    arch.rails[1].width = 5;
+    return arch;
+  }
+
+  Soc soc_ = load_benchmark("mini5");
+  TestTimeTable table_;
+  SiTestSet tests_;
+};
+
+TEST_F(EvaluatorMemoTest, HitsOnReevaluationOfSameArchitecture) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  const TamArchitecture arch = two_rails();
+  const Evaluation first = evaluator.evaluate(arch);
+  const Evaluation again = evaluator.evaluate(arch);
+  EXPECT_EQ(evaluator.stats().evaluations, 2);
+  EXPECT_EQ(evaluator.stats().cache_misses, 1);
+  EXPECT_EQ(evaluator.stats().cache_hits, 1);
+  // The memoized answer is the stored evaluation verbatim.
+  EXPECT_EQ(again.t_soc, first.t_soc);
+  EXPECT_EQ(again.t_in, first.t_in);
+  EXPECT_EQ(again.schedule.items.size(), first.schedule.items.size());
+}
+
+TEST_F(EvaluatorMemoTest, MissAfterMutatingWidthOrCores) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  TamArchitecture arch = two_rails();
+  (void)evaluator.evaluate(arch);
+
+  ++arch.rails[0].width;  // width change -> different architecture
+  --arch.rails[1].width;
+  (void)evaluator.evaluate(arch);
+  EXPECT_EQ(evaluator.stats().cache_misses, 2);
+
+  // Moving a core between rails is a different architecture too.
+  arch = two_rails();
+  arch.rails[0].cores = {0, 1, 2};
+  arch.rails[1].cores = {3, 4};
+  (void)evaluator.evaluate(arch);
+  EXPECT_EQ(evaluator.stats().cache_misses, 3);
+  EXPECT_EQ(evaluator.stats().cache_hits, 0);
+}
+
+TEST_F(EvaluatorMemoTest, MissCountMatchesDistinctArchitectures) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  std::vector<TamArchitecture> distinct;
+  for (int w = 1; w <= 4; ++w) {
+    TamArchitecture arch = two_rails();
+    arch.rails[0].width = w;
+    distinct.push_back(std::move(arch));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const TamArchitecture& arch : distinct) {
+      (void)evaluator.evaluate(arch);
+    }
+  }
+  EXPECT_EQ(evaluator.stats().evaluations,
+            static_cast<std::int64_t>(3 * distinct.size()));
+  EXPECT_EQ(evaluator.stats().cache_misses,
+            static_cast<std::int64_t>(distinct.size()));
+  EXPECT_EQ(evaluator.stats().cache_hits,
+            static_cast<std::int64_t>(2 * distinct.size()));
+}
+
+TEST_F(EvaluatorMemoTest, DisabledCacheCountsEveryCallAsMiss) {
+  EvaluatorOptions options;
+  options.memoize = false;
+  const TamEvaluator evaluator(soc_, table_, tests_, options);
+  const TamArchitecture arch = two_rails();
+  const Evaluation a = evaluator.evaluate(arch);
+  const Evaluation b = evaluator.evaluate(arch);
+  EXPECT_EQ(a.t_soc, b.t_soc);
+  EXPECT_EQ(evaluator.stats().evaluations, 2);
+  EXPECT_EQ(evaluator.stats().cache_misses, 2);
+  EXPECT_EQ(evaluator.stats().cache_hits, 0);
+}
+
+TEST_F(EvaluatorMemoTest, ResetStatsClearsCounters) {
+  TamEvaluator evaluator(soc_, table_, tests_);
+  (void)evaluator.evaluate(two_rails());
+  evaluator.reset_stats();
+  EXPECT_EQ(evaluator.stats().evaluations, 0);
+  EXPECT_EQ(evaluator.stats().cache_hits, 0);
+  EXPECT_EQ(evaluator.stats().cache_misses, 0);
+}
+
+TEST_F(EvaluatorMemoTest, ArchitectureHashIgnoresRailIds) {
+  TamArchitecture a = two_rails();
+  TamArchitecture b = two_rails();
+  b.rails[0].id = 17;  // optimizer bookkeeping only
+  EXPECT_EQ(TamEvaluator::architecture_hash(a),
+            TamEvaluator::architecture_hash(b));
+  b.rails[0].width = 4;
+  EXPECT_NE(TamEvaluator::architecture_hash(a),
+            TamEvaluator::architecture_hash(b));
+  // The two salted mixes are independent hashes.
+  EXPECT_NE(TamEvaluator::architecture_hash(a, 0),
+            TamEvaluator::architecture_hash(a, 1));
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+// Property-style determinism checks for the parallel optimizer paths:
+// optimize_tam's restart loop and optimize_tam_annealing's chains must
+// return bit-identical winners for every thread count, across many seeds,
+// on d695-style synthetic SOCs. Also covers memo-cache transparency (same
+// results with the cache on and off) and evaluator-stats consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sitest/group.h"
+#include "soc/synth.h"
+#include "tam/annealing.h"
+#include "tam/optimizer.h"
+#include "tam/verify.h"
+#include "util/rng.h"
+#include "wrapper/design.h"
+
+namespace sitam {
+namespace {
+
+constexpr int kSeeds = 10;
+const int kThreadCounts[] = {1, 2, 8};
+
+/// Small d695-style SOC (a handful of scan cores with a size spread).
+Soc synthetic_soc(std::uint64_t seed) {
+  SynthSocConfig config;
+  config.cores = 8;
+  config.name = "synth" + std::to_string(seed);
+  Rng rng(seed);
+  return generate_soc(config, rng);
+}
+
+/// Random SI test set: groups of 2-4 distinct cores with random pattern
+/// counts, deterministic in `seed`.
+SiTestSet synthetic_tests(const Soc& soc, std::uint64_t seed) {
+  Rng rng(split_stream(seed, 1));
+  SiTestSet tests;
+  tests.parts = 1;
+  const int groups = 5 + static_cast<int>(rng.below(3));
+  for (int g = 0; g < groups; ++g) {
+    SiTestGroup group;
+    group.label = "g" + std::to_string(g + 1);
+    const std::size_t involved = 2 + rng.below(3);
+    const auto picks = rng.sample_indices(
+        static_cast<std::size_t>(soc.core_count()), involved);
+    for (const std::size_t core : picks) {
+      group.cores.push_back(static_cast<int>(core));
+    }
+    std::sort(group.cores.begin(), group.cores.end());
+    group.patterns = static_cast<std::int64_t>(20 + rng.below(180));
+    group.raw_patterns = group.patterns;
+    tests.groups.push_back(std::move(group));
+  }
+  return tests;
+}
+
+struct Scenario {
+  Soc soc;
+  TestTimeTable table;
+  SiTestSet tests;
+  int w_max;
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  Soc soc = synthetic_soc(seed);
+  const int w_max = 6 + static_cast<int>(seed % 5);
+  TestTimeTable table(soc, w_max);
+  SiTestSet tests = synthetic_tests(soc, seed);
+  return Scenario{std::move(soc), std::move(table), std::move(tests), w_max};
+}
+
+TEST(ParallelDeterminism, OptimizeTamMatchesAcrossThreadCounts) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Scenario s = make_scenario(seed);
+    OptimizerConfig config;
+    config.restarts = 3;
+    config.threads = 1;
+    const OptimizeResult reference =
+        optimize_tam(s.soc, s.table, s.tests, s.w_max, config);
+    EXPECT_TRUE(verify_stats(reference.stats).empty());
+
+    for (const int threads : kThreadCounts) {
+      config.threads = threads;
+      const OptimizeResult result =
+          optimize_tam(s.soc, s.table, s.tests, s.w_max, config);
+      EXPECT_EQ(result.evaluation.t_soc, reference.evaluation.t_soc)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(result.architecture.describe(),
+                reference.architecture.describe())
+          << "seed=" << seed << " threads=" << threads;
+      // The evaluation work is the same set of restarts either way.
+      EXPECT_EQ(result.stats.evaluations, reference.stats.evaluations)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, AnnealingMatchesAcrossThreadCounts) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Scenario s = make_scenario(seed);
+    AnnealingConfig config;
+    config.iterations = 600;
+    config.chains = 3;
+    config.seed = seed;
+    config.threads = 1;
+    const OptimizeResult reference =
+        optimize_tam_annealing(s.soc, s.table, s.tests, s.w_max, config);
+    EXPECT_TRUE(verify_stats(reference.stats).empty());
+
+    for (const int threads : kThreadCounts) {
+      config.threads = threads;
+      const OptimizeResult result =
+          optimize_tam_annealing(s.soc, s.table, s.tests, s.w_max, config);
+      EXPECT_EQ(result.evaluation.t_soc, reference.evaluation.t_soc)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(result.architecture.describe(),
+                reference.architecture.describe())
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, MemoCacheIsTransparent) {
+  // The memo cache may only change speed, never results.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Scenario s = make_scenario(seed);
+    OptimizerConfig cached;
+    cached.restarts = 2;
+    OptimizerConfig uncached = cached;
+    uncached.evaluator.memoize = false;
+    const OptimizeResult with =
+        optimize_tam(s.soc, s.table, s.tests, s.w_max, cached);
+    const OptimizeResult without =
+        optimize_tam(s.soc, s.table, s.tests, s.w_max, uncached);
+    EXPECT_EQ(with.evaluation.t_soc, without.evaluation.t_soc)
+        << "seed=" << seed;
+    EXPECT_EQ(with.architecture.describe(), without.architecture.describe())
+        << "seed=" << seed;
+    EXPECT_EQ(with.stats.evaluations, without.stats.evaluations)
+        << "seed=" << seed;
+    EXPECT_GT(with.stats.cache_hits, 0) << "seed=" << seed;
+    EXPECT_EQ(without.stats.cache_hits, 0) << "seed=" << seed;
+  }
+}
+
+TEST(ParallelDeterminism, ChainZeroMatchesSingleChainConfig) {
+  // chains=1 must reproduce the historical single-chain trajectory, and a
+  // multi-chain winner can only improve on it.
+  const Scenario s = make_scenario(3);
+  AnnealingConfig one;
+  one.iterations = 600;
+  one.seed = 42;
+  const OptimizeResult single =
+      optimize_tam_annealing(s.soc, s.table, s.tests, s.w_max, one);
+  AnnealingConfig many = one;
+  many.chains = 4;
+  const OptimizeResult multi =
+      optimize_tam_annealing(s.soc, s.table, s.tests, s.w_max, many);
+  EXPECT_LE(multi.evaluation.t_soc, single.evaluation.t_soc);
+}
+
+}  // namespace
+}  // namespace sitam

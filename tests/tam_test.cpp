@@ -507,5 +507,38 @@ TEST(OptimizerRestarts, DeterministicForSeed) {
   EXPECT_EQ(a.architecture.describe(), b.architecture.describe());
 }
 
+TEST(OptimizerStats, CountsEveryEvaluation) {
+  // Regression for the evals_ undercount: the optimizer used to count only
+  // its t_soc() shortcut, missing the direct eval_.evaluate() calls in
+  // run()'s merge stages. Counting is now single-sourced in TamEvaluator,
+  // so every call — direct or via t_soc() — lands in stats.evaluations.
+  const Soc soc = load_benchmark("mini5");
+  const TestTimeTable table(soc, 8);
+  static const SiTestSet kNoTests{};
+  TamEvaluator evaluator(soc, table, kNoTests);
+  TamArchitecture arch;
+  arch.rails.resize(1);
+  arch.rails[0].cores = {0, 1, 2, 3, 4};
+  arch.rails[0].width = 8;
+  (void)evaluator.evaluate(arch);
+  (void)evaluator.evaluate(arch);
+  (void)evaluator.evaluate(arch);
+  (void)evaluator.t_soc(arch);
+  (void)evaluator.t_soc(arch);
+  EXPECT_EQ(evaluator.stats().evaluations, 5);
+  EXPECT_EQ(evaluator.stats().cache_hits + evaluator.stats().cache_misses,
+            evaluator.stats().evaluations);
+
+  // End-to-end: a full optimizer run reports a consistent, non-zero count.
+  const OptimizeResult result = optimize_tam(soc, table, kNoTests, 8);
+  EXPECT_GT(result.stats.evaluations, 0);
+  EXPECT_EQ(result.stats.cache_hits + result.stats.cache_misses,
+            result.stats.evaluations);
+  // The bottom-up stage alone evaluates more architectures than the old
+  // t_soc-only counter could ever see for a 5-core SOC (it reported at
+  // most a handful); any credible count exceeds the core count.
+  EXPECT_GT(result.stats.evaluations, soc.core_count());
+}
+
 }  // namespace
 }  // namespace sitam

@@ -1,0 +1,98 @@
+// Tests for util/thread_pool: construction/teardown, futures, exception
+// propagation, submit-after-shutdown rejection and queue saturation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace sitam {
+namespace {
+
+TEST(ThreadPool, ConstructionAndTeardown) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }  // destructor joins with an empty queue
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 7; });
+  auto b = pool.submit([] { return std::string("ok"); });
+  auto c = pool.submit([] { /* void task */ });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+  EXPECT_NO_THROW(c.get());
+}
+
+TEST(ThreadPool, ResultsArriveInSubmissionOrder) {
+  // Futures pin each result to its submission slot no matter which worker
+  // finishes first — the property the optimizer's winner rule relies on.
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] {
+      if (i % 3 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto doomed = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto fine = pool.submit([] { return 1; });
+  EXPECT_THROW(doomed.get(), std::runtime_error);
+  // A throwing task must not take its worker down with it.
+  EXPECT_EQ(fine.get(), 1);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto done = pool.submit([] { return 5; });
+  pool.shutdown();
+  EXPECT_EQ(done.get(), 5);  // queued work ran before the join
+  EXPECT_THROW((void)pool.submit([] { return 6; }), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, SaturationRunsEveryTask) {
+  // Far more tasks than workers: every increment must land exactly once
+  // and the destructor must drain the backlog.
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 500;
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.submit(
+          [&counter] { counter.fetch_add(1, std::memory_order_relaxed); }));
+    }
+  }  // destructor: drain + join
+  EXPECT_EQ(counter.load(), kTasks);
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+}
+
+}  // namespace
+}  // namespace sitam

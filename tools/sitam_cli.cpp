@@ -189,6 +189,28 @@ void architecture_json(JsonWriter& json, const TamArchitecture& arch,
   json.end_array();
 }
 
+OptimizerConfig optimizer_config(const CliArgs& args) {
+  OptimizerConfig config;
+  config.restarts =
+      static_cast<int>(args.get_or("restarts", std::int64_t{1}));
+  config.threads = static_cast<int>(args.get_or("threads", std::int64_t{1}));
+  config.evaluator.memoize = !args.has("no-cache");
+  return config;
+}
+
+void stats_json(JsonWriter& json, const EvaluatorStats& stats) {
+  json.key("evaluations").value(stats.evaluations);
+  json.key("cache_hits").value(stats.cache_hits);
+  json.key("cache_misses").value(stats.cache_misses);
+  json.key("cache_hit_rate").value(stats.hit_rate());
+}
+
+void print_stats(const EvaluatorStats& stats) {
+  std::cout << "evaluations: " << stats.evaluations << " (cache hits "
+            << stats.cache_hits << ", misses " << stats.cache_misses
+            << ", hit rate " << 100.0 * stats.hit_rate() << " %)\n";
+}
+
 int cmd_optimize(const CliArgs& args) {
   const Soc soc = resolve_soc(args);
   const int w_max = static_cast<int>(args.get_or("wmax", std::int64_t{32}));
@@ -201,7 +223,8 @@ int cmd_optimize(const CliArgs& args) {
   const SiWorkload workload = SiWorkload::prepare(soc, config);
   const SiTestSet& tests = workload.tests(parts);
   const TestTimeTable table(soc, w_max);
-  const OptimizeResult result = optimize_tam(soc, table, tests, w_max);
+  const OptimizeResult result =
+      optimize_tam(soc, table, tests, w_max, optimizer_config(args));
   const LowerBounds bounds = lower_bounds(soc, table, tests, w_max);
   const WrapperArea area = soc_wrapper_area(soc, result.architecture);
 
@@ -213,6 +236,7 @@ int cmd_optimize(const CliArgs& args) {
     json.key("n_r").value(config.pattern_count);
     json.key("parts").value(std::int64_t{parts});
     architecture_json(json, result.architecture, result.evaluation);
+    stats_json(json, result.stats);
     json.key("lower_bound").value(bounds.t_soc());
     json.key("si_wrapper_extra_ge").value(area.si_extra_ge);
     json.end_object();
@@ -221,6 +245,7 @@ int cmd_optimize(const CliArgs& args) {
   }
   std::cout << describe_evaluation(result.architecture, result.evaluation,
                                    tests);
+  print_stats(result.stats);
   std::cout << "lower bound (architecture-independent): " << bounds.t_soc()
             << " cc\n";
   std::cout << "SI wrapper extra area: " << area.si_extra_ge << " GE ("
@@ -242,9 +267,13 @@ int cmd_verify(const CliArgs& args) {
   const SiWorkload workload = SiWorkload::prepare(soc, config);
   const SiTestSet& tests = workload.tests(parts);
   const TestTimeTable table(soc, w_max);
-  const OptimizeResult result = optimize_tam(soc, table, tests, w_max);
-  const auto problems = verify_evaluation(
+  const OptimizeResult result =
+      optimize_tam(soc, table, tests, w_max, optimizer_config(args));
+  auto problems = verify_evaluation(
       soc, table, tests, result.architecture, result.evaluation);
+  for (std::string& problem : verify_stats(result.stats)) {
+    problems.push_back(std::move(problem));
+  }
   if (problems.empty()) {
     std::cout << "verified: " << soc.name << " W_max=" << w_max
               << " T_soc=" << result.evaluation.t_soc << " cc ("
@@ -300,7 +329,13 @@ int cmd_sweep(const CliArgs& args) {
   const auto width_args =
       args.get_list_or("widths", {8, 16, 24, 32, 40, 48, 56, 64});
   const std::vector<int> widths(width_args.begin(), width_args.end());
-  const SweepResult sweep = run_sweep(workload, widths);
+  const SweepResult sweep =
+      run_sweep(workload, widths, optimizer_config(args));
+
+  EvaluatorStats total;
+  for (const ExperimentOutcome& row : sweep.rows) {
+    for (const OptimizeResult& r : row.per_grouping) total += r.stats;
+  }
 
   if (args.has("json")) {
     JsonWriter json;
@@ -323,11 +358,13 @@ int cmd_sweep(const CliArgs& args) {
       json.end_object();
     }
     json.end_array();
+    stats_json(json, total);
     json.end_object();
     std::cout << json.str() << "\n";
     return 0;
   }
   std::cout << sweep_caption(sweep) << "\n" << render_paper_table(sweep);
+  print_stats(total);
   return 0;
 }
 
@@ -343,7 +380,8 @@ int usage() {
          "  sweep    --soc=... [--widths=]  paper-style table\n"
          "  gantt    --soc=... --wmax=W     schedule chart [--svg=out.svg]\n"
          "  verify   --soc=... --wmax=W     optimize + independent check\n"
-         "  (optimize/sweep accept --json)\n";
+         "  (optimize/sweep accept --json; optimize/sweep/verify accept\n"
+         "   --restarts=N --threads=T (0 = all cores) --no-cache)\n";
   return 2;
 }
 
