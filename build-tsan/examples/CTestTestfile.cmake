@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart" "--soc=mini5" "--wmax=4" "--nr=200")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_soc "/root/repo/build-tsan/examples/custom_soc_flow" "--wmax=6" "--nr=300")
+set_tests_properties(example_custom_soc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topology_tour "/root/repo/build-tsan/examples/topology_tour" "--wires=4" "--k=1")
+set_tests_properties(example_topology_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_walkthrough "/root/repo/build-tsan/examples/scheduling_walkthrough" "--soc=mini5" "--wmax=4" "--nr=300")
+set_tests_properties(example_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_html_report "/root/repo/build-tsan/examples/html_report" "--soc=mini5" "--nr=300" "--widths=2,4" "--out=example_report.html")
+set_tests_properties(example_html_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

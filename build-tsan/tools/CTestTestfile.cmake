@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_benchmarks "/root/repo/build-tsan/tools/sitam" "benchmarks")
+set_tests_properties(cli_benchmarks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build-tsan/tools/sitam" "info" "--soc=mini5")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info_module "/root/repo/build-tsan/tools/sitam" "info" "--soc=d695" "--module=10" "--width=4")
+set_tests_properties(cli_info_module PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate "/root/repo/build-tsan/tools/sitam" "generate" "--cores=6" "--seed=3")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compact "/root/repo/build-tsan/tools/sitam" "compact" "--soc=mini5" "--nr=300" "--parts=1,2")
+set_tests_properties(cli_compact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_optimize_json "/root/repo/build-tsan/tools/sitam" "optimize" "--soc=mini5" "--wmax=4" "--nr=300" "--json")
+set_tests_properties(cli_optimize_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build-tsan/tools/sitam" "sweep" "--soc=mini5" "--widths=2,4" "--nr=300")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gantt "/root/repo/build-tsan/tools/sitam" "gantt" "--soc=mini5" "--wmax=4" "--nr=300" "--parts=2")
+set_tests_properties(cli_gantt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify "/root/repo/build-tsan/tools/sitam" "verify" "--soc=mini5" "--wmax=4" "--nr=300")
+set_tests_properties(cli_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build-tsan/tools/sitam" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
