@@ -106,7 +106,9 @@ SiTestSet build_si_test_set(std::span<const SiPattern> patterns,
   std::vector<SiPattern> remainder;
   for (const SiPattern& p : patterns) {
     const auto care = p.care_cores(terminals);
-    SITAM_CHECK_MSG(!care.empty(), "pattern with no care cores");
+    // Per-pattern in the bucketing loop: debug/sanitizer builds only. An
+    // all-don't-care pattern would be dropped by compaction upstream.
+    SITAM_DCHECK_MSG(!care.empty(), "pattern with no care cores");
     const int part = partition.part_of[static_cast<std::size_t>(care[0])];
     const bool local = std::all_of(care.begin(), care.end(), [&](int c) {
       return partition.part_of[static_cast<std::size_t>(c)] == part;

@@ -38,6 +38,7 @@ void insert_core(std::vector<int>& cores, int core) {
 /// applicable to the current architecture (caller just retries).
 bool mutate(TamArchitecture& arch, Rng& rng) {
   const auto rail_count = arch.rails.size();
+  SITAM_DCHECK_MSG(rail_count > 0, "mutate on an empty architecture");
   switch (rng.below(4)) {
     case 0: {  // move one core to another rail
       if (rail_count < 2) return false;

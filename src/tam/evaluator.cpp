@@ -111,6 +111,8 @@ DualHash architecture_hash_pair(const TamArchitecture& arch) {
 
 }  // namespace
 
+// sitam-lint: allow(SL005) — static pure hash; reads the architecture,
+// mutates nothing.
 std::uint64_t TamEvaluator::architecture_hash(const TamArchitecture& arch,
                                               std::uint64_t salt) {
   // Same mix pattern as workload_cache_key (core/cache.cpp): fold each

@@ -16,6 +16,7 @@ namespace {
 template <typename Visitor>
 void partition_recurse(int i, int n, int used_blocks,
                        std::vector<int>& block_of, Visitor& visit) {
+  SITAM_DCHECK(i >= 0 && i <= n && used_blocks <= i);
   if (i == n) {
     visit(block_of);
     return;
@@ -39,6 +40,7 @@ void for_each_partition(int n, Visitor&& visit) {
 template <typename Visitor>
 void for_each_composition(int total, int parts, std::vector<int>& widths,
                           Visitor&& visit) {
+  SITAM_DCHECK(parts >= 1 && total >= parts);
   if (parts == 1) {
     widths.push_back(total);
     visit(widths);

@@ -20,9 +20,10 @@ std::int64_t PackingResult::idle_area(int w_max) const {
 namespace {
 
 /// Places cores in the given order; wires are interchangeable, so the
-/// packing state is just each wire's next free time.
-PackingResult pack_in_order(const Soc& soc, const TestTimeTable& table,
-                            int w_max, const std::vector<int>& order) {
+/// packing state is just each wire's next free time. Widths come from each
+/// core's Pareto front, so the wrapper table is not consulted here.
+PackingResult pack_in_order(const Soc& soc, int w_max,
+                            const std::vector<int>& order) {
   std::vector<std::int64_t> wire_free(static_cast<std::size_t>(w_max), 0);
   PackingResult result;
   result.slots.reserve(order.size());
@@ -57,7 +58,11 @@ PackingResult pack_in_order(const Soc& soc, const TestTimeTable& table,
         best_start = start;
       }
     }
-    SITAM_CHECK_MSG(best_width > 0, "no feasible width for core " << core);
+    // Per-core in the packing loop (pack_in_order runs once per descent
+    // round): debug/sanitizer builds only. The w_max >= 1 boundary check in
+    // pack_intest_rectangles stays always-on; a nonempty Pareto front
+    // follows from it.
+    SITAM_DCHECK_MSG(best_width > 0, "no feasible width for core " << core);
 
     for (int w = 0; w < best_width; ++w) {
       wire_free[by_free[static_cast<std::size_t>(w)]] = best_finish;
@@ -100,10 +105,10 @@ PackingResult pack_intest_rectangles(const Soc& soc,
     return table.intest(a, half) > table.intest(b, half);
   });
 
-  PackingResult best = pack_in_order(soc, table, w_max, by_serial);
+  PackingResult best = pack_in_order(soc, w_max, by_serial);
   std::vector<int> best_order = by_serial;
   for (const auto& order : {by_floor, by_half}) {
-    PackingResult alt = pack_in_order(soc, table, w_max, order);
+    PackingResult alt = pack_in_order(soc, w_max, order);
     if (alt.makespan < best.makespan) {
       best = std::move(alt);
       best_order = order;
@@ -120,12 +125,13 @@ PackingResult pack_intest_rectangles(const Soc& soc,
         break;
       }
     }
-    SITAM_CHECK(critical >= 0);
+    // Some slot always ends at the makespan; per-round, so debug-only.
+    SITAM_DCHECK(critical >= 0);
     if (!best_order.empty() && best_order.front() == critical) break;
     std::vector<int> order = best_order;
     order.erase(std::find(order.begin(), order.end(), critical));
     order.insert(order.begin(), critical);
-    PackingResult candidate = pack_in_order(soc, table, w_max, order);
+    PackingResult candidate = pack_in_order(soc, w_max, order);
     if (candidate.makespan >= best.makespan) break;
     best = std::move(candidate);
     best_order = std::move(order);

@@ -3,7 +3,14 @@
 // SITAM_CHECK is always on (the optimizer state machines are cheap relative
 // to the algorithms they guard) and throws std::logic_error so that both the
 // tests and the benches fail loudly instead of producing silently wrong
-// tables.
+// tables. Boundary checks — validating inputs at an API edge — must stay
+// SITAM_CHECK.
+//
+// SITAM_DCHECK is its debug-only sibling for per-iteration checks inside
+// hot loops, where a profile shows the check itself dominating. It compiles
+// to nothing in plain Release builds but stays armed in Debug and in every
+// sanitizer build (the sanitizer presets define SITAM_ENABLE_DCHECKS), so
+// the invariant is still exercised by `ctest -L asan` / `-L tsan` runs.
 #pragma once
 
 #include <sstream>
@@ -37,3 +44,25 @@ namespace sitam::detail {
                                     sitam_check_os_.str());                \
     }                                                                      \
   } while (false)
+
+#if !defined(NDEBUG) || defined(SITAM_ENABLE_DCHECKS)
+#define SITAM_DCHECKS_ENABLED 1
+#else
+#define SITAM_DCHECKS_ENABLED 0
+#endif
+
+#if SITAM_DCHECKS_ENABLED
+#define SITAM_DCHECK(expr) SITAM_CHECK(expr)
+#define SITAM_DCHECK_MSG(expr, msg) SITAM_CHECK_MSG(expr, msg)
+#else
+// Keep the expression syntactically checked (and ODR-used symbols alive)
+// without evaluating it.
+#define SITAM_DCHECK(expr)                                                 \
+  do {                                                                     \
+    if (false) static_cast<void>(expr);                                    \
+  } while (false)
+#define SITAM_DCHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (false) static_cast<void>(expr);                                    \
+  } while (false)
+#endif

@@ -1,0 +1,11 @@
+// Fixture: SL002 must fire on wall-clock reads outside stopwatch.h/log.cpp.
+#include <chrono>
+
+namespace sitam {
+
+long stamp() {
+  const auto t = std::chrono::steady_clock::now();  // line 7: SL002
+  return t.time_since_epoch().count();
+}
+
+}  // namespace sitam

@@ -1,0 +1,15 @@
+// Fixture: SL004 must fire on unordered-container iteration in a TU that
+// writes output (the ostream mention below marks it as output-writing).
+#include <ostream>
+#include <unordered_map>
+
+namespace sitam {
+
+void dump(std::ostream& os) {
+  std::unordered_map<int, long> totals;
+  for (const auto& [key, value] : totals) {  // line 10: SL004
+    os << key << ',' << value << '\n';
+  }
+}
+
+}  // namespace sitam

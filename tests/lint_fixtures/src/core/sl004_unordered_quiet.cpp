@@ -1,0 +1,13 @@
+// Fixture: SL004 must NOT fire here — the TU iterates an unordered
+// container but writes no reports/JSON/CSV/hashes (order feeds only a sum).
+#include <unordered_map>
+
+namespace sitam {
+
+long total(const std::unordered_map<int, long>& cells) {
+  long sum = 0;
+  for (const auto& [key, value] : cells) sum += value;
+  return sum;
+}
+
+}  // namespace sitam

@@ -1,0 +1,9 @@
+// Fixture: SL009 must fire on float in an accounting path (src/core).
+
+namespace sitam {
+
+float utilization(long used, long total) {  // line 5: SL009
+  return static_cast<float>(used) / static_cast<float>(total);  // line 6
+}
+
+}  // namespace sitam

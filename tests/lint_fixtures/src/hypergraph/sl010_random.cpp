@@ -1,0 +1,12 @@
+// Fixture: SL010 must fire on <random> facilities outside src/util/rng.*.
+#include <random>  // line 2: SL010
+
+namespace sitam {
+
+unsigned fixture_draw() {
+  std::mt19937 engine(7);                              // line 7: SL010
+  std::uniform_int_distribution<unsigned> pick(0, 9);  // line 8: SL010
+  return pick(engine);
+}
+
+}  // namespace sitam

@@ -1,0 +1,9 @@
+// Fixture: SL008 must fire on each include-hygiene violation.
+#include "../util/rng.h"  // line 2: SL008 (relative include)
+#include <stdio.h>        // line 3: SL008 (use <cstdio>)
+
+namespace sitam {
+
+int fixture_token() { return 8; }
+
+}  // namespace sitam

@@ -1,0 +1,12 @@
+// Fixture: SL007 must fire on the using-namespace directive.
+#pragma once
+
+#include <string>
+
+using namespace std;  // line 6: SL007
+
+namespace sitam {
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace sitam

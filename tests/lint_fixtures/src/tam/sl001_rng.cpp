@@ -1,0 +1,10 @@
+// Fixture: SL001 must fire on each banned randomness source.
+#include <cstdlib>
+
+namespace sitam {
+
+int noise() { return rand(); }                  // line 6: SL001
+
+void reseed_badly(unsigned seed) { srand(seed); }  // line 8: SL001
+
+}  // namespace sitam

@@ -1,0 +1,26 @@
+// Fixture: SL005 must fire on the unchecked mutator and stay quiet on the
+// checked one and on the const reader.
+#include "tam/sl005_mutator.h"
+
+namespace sitam {
+
+void Basket::grow(int amount) {  // line 7: SL005
+  total_ += amount;
+  history_.push_back(amount);
+  capacity_ = total_ + amount;
+}
+
+void Basket::shrink(int amount) {
+  SITAM_CHECK(amount >= 0);
+  total_ -= amount;
+  history_.push_back(-amount);
+  capacity_ = total_;
+}
+
+int Basket::total() const {
+  int sum = total_;
+  sum += capacity_;
+  return sum - capacity_;
+}
+
+}  // namespace sitam

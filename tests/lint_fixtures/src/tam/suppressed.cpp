@@ -1,0 +1,14 @@
+// Fixture: every violation here carries an inline allow() directive, so the
+// file must produce only suppressed findings.
+#include <cstdlib>
+
+namespace sitam {
+
+// sitam-lint: allow(SL001) audited: fixture exercising suppression
+int allowed_noise() { return rand(); }
+
+int allowed_again() {
+  return rand();  // sitam-lint: allow(*)
+}
+
+}  // namespace sitam

@@ -1,0 +1,9 @@
+// Fixture: a clean file; the linter must report nothing. Mentions of
+// banned tokens in comments (rand, srand, std::shuffle) and in string
+// literals must be ignored.
+
+namespace sitam {
+
+const char* fixture_note() { return "call rand() and srand() at will"; }
+
+}  // namespace sitam

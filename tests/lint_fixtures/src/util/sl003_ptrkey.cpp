@@ -1,0 +1,14 @@
+// Fixture: SL003 must fire on pointer-keyed associative containers.
+#include <map>
+#include <unordered_set>
+
+namespace sitam {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> ranks;            // line 11: SL003
+std::unordered_set<const Node*> seen;  // line 12: SL003
+
+}  // namespace sitam

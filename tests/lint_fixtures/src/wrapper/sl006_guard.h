@@ -1,0 +1,9 @@
+// Fixture: SL006 must fire — this header has no #pragma once.
+
+namespace sitam {
+
+struct Unguarded {
+  int value = 0;
+};
+
+}  // namespace sitam

@@ -1,0 +1,352 @@
+// Tests for tools/lint (sitam_lint): every rule ID fires exactly where a
+// seeded fixture says it should, path scoping and exemptions hold, inline
+// suppression and the allowlist round-trip, and the real repo tree lints
+// clean (that last gate also runs as the `lint_repo` ctest).
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lint = sitam::lint;
+
+namespace {
+
+std::vector<std::string> rule_ids(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> ids;
+  ids.reserve(findings.size());
+  for (const auto& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+std::filesystem::path fixtures_root() {
+  return std::filesystem::path(LINT_FIXTURES_DIR);
+}
+
+}  // namespace
+
+TEST(LintRules, CatalogueHasTenStableIds) {
+  const auto rules = lint::rules();
+  ASSERT_EQ(rules.size(), 10u);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, "SL0" + std::to_string(i < 9 ? 0 : 1) +
+                               std::to_string((i + 1) % 10))
+        << "rule ids must be SL001..SL010 in order";
+  }
+}
+
+TEST(LintRules, BannedRandomnessSources) {
+  const auto findings = lint::lint_source(
+      "src/core/x.cpp", "int f() { return rand(); }\n"
+                        "void g(unsigned s) { srand(s); }\n"
+                        "int h() { return std::random_device{}(); }\n");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"SL001", "SL001", "SL001"}));
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+}
+
+TEST(LintRules, RngImplementationIsExempt) {
+  const std::string text = "static std::random_device seed_entropy;\n";
+  EXPECT_TRUE(lint::lint_source("src/util/rng.cpp", text).empty());
+  EXPECT_FALSE(lint::lint_source("src/util/cli.cpp", text).empty());
+}
+
+TEST(LintRules, WallClockOnlyInStopwatchAndLog) {
+  const std::string text =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(
+      lint::lint_source("src/util/stopwatch.h", "#pragma once\n" + text)
+          .empty());
+  EXPECT_TRUE(lint::lint_source("src/util/log.cpp", text).empty());
+  const auto findings = lint::lint_source("bench/table_common.cpp", text);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "SL002");
+}
+
+TEST(LintRules, PointerKeyedContainers) {
+  const auto findings = lint::lint_source(
+      "src/core/x.cpp",
+      "std::map<Module*, int> by_ptr;\n"
+      "std::unordered_map<const Core*, long> cache;\n"
+      "std::map<std::string, int> fine;\n"
+      "std::map<const char*, int> strings_fine;\n");
+  EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{"SL003", "SL003"}));
+}
+
+TEST(LintRules, UnorderedIterationNeedsOutputSignature) {
+  const std::string iterating =
+      "std::unordered_map<int, long> cells;\n"
+      "long f() { long s = 0; for (auto& kv : cells) s += kv.second; "
+      "return s; }\n";
+  // Quiet TU: no output signature, no finding.
+  EXPECT_TRUE(lint::lint_source("src/core/quiet.cpp", iterating).empty());
+  // Same code plus a report include: SL004.
+  const auto findings = lint::lint_source(
+      "src/core/loud.cpp", "#include \"core/report.h\"\n" + iterating);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "SL004");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintRules, MutatingFunctionScopingAndSatisfaction) {
+  const std::string unchecked =
+      "namespace sitam {\n"
+      "void Widget::grow(int n) {\n"
+      "  a_ += n;\n"
+      "  b_ += n;\n"
+      "  c_ += n;\n"
+      "}\n"
+      "}\n";
+  // Fires in src/tam and src/sitest .cpp files only.
+  EXPECT_EQ(rule_ids(lint::lint_source("src/tam/w.cpp", unchecked)),
+            (std::vector<std::string>{"SL005"}));
+  EXPECT_EQ(rule_ids(lint::lint_source("src/sitest/w.cpp", unchecked)),
+            (std::vector<std::string>{"SL005"}));
+  EXPECT_TRUE(lint::lint_source("src/core/w.cpp", unchecked).empty());
+  EXPECT_TRUE(lint::lint_source("src/tam/w.h",
+                                "#pragma once\n" + unchecked)
+                  .empty())
+      << "SL005 is scoped to .cpp files";
+
+  // A SITAM_CHECK, SITAM_DCHECK, or validating throw satisfies the rule.
+  for (const char* guard :
+       {"  SITAM_CHECK(n >= 0);\n", "  SITAM_DCHECK(n >= 0);\n",
+        "  if (n < 0) throw std::invalid_argument(\"n\");\n"}) {
+    const std::string checked = "namespace sitam {\n"
+                                "void Widget::grow(int n) {\n" +
+                                std::string(guard) +
+                                "  a_ += n;\n"
+                                "  b_ += n;\n"
+                                "  c_ += n;\n"
+                                "}\n"
+                                "}\n";
+    EXPECT_TRUE(lint::lint_source("src/tam/w.cpp", checked).empty())
+        << "guard was: " << guard;
+  }
+
+  // Const members and const-ref free functions are not mutating.
+  const std::string benign =
+      "namespace sitam {\n"
+      "int Widget::size() const {\n"
+      "  int s = a_;\n"
+      "  s += b_;\n"
+      "  return s;\n"
+      "}\n"
+      "long sum(const std::vector<int>& v) {\n"
+      "  long s = 0;\n"
+      "  for (int x : v) s += x;\n"
+      "  return s;\n"
+      "}\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_source("src/tam/w.cpp", benign).empty());
+
+  // A free function mutating an out-parameter is in scope.
+  const std::string free_mutator =
+      "namespace sitam {\n"
+      "void renumber(std::vector<int>& ids) {\n"
+      "  int next = 0;\n"
+      "  for (auto& id : ids) id = next++;\n"
+      "  ids.shrink_to_fit();\n"
+      "}\n"
+      "}\n";
+  EXPECT_EQ(rule_ids(lint::lint_source("src/tam/w.cpp", free_mutator)),
+            (std::vector<std::string>{"SL005"}));
+}
+
+TEST(LintRules, HeaderHygiene) {
+  const auto no_guard = lint::lint_source("src/core/a.h", "struct A {};\n");
+  ASSERT_EQ(no_guard.size(), 1u);
+  EXPECT_EQ(no_guard[0].rule, "SL006");
+
+  const auto using_ns = lint::lint_source(
+      "src/core/b.h", "#pragma once\nusing namespace std;\n");
+  ASSERT_EQ(using_ns.size(), 1u);
+  EXPECT_EQ(using_ns[0].rule, "SL007");
+  EXPECT_EQ(using_ns[0].line, 2);
+
+  // .cpp files need neither guard nor the using restriction.
+  EXPECT_TRUE(
+      lint::lint_source("src/core/c.cpp", "using namespace std;\n").empty());
+}
+
+TEST(LintRules, IncludeHygiene) {
+  const auto findings = lint::lint_source(
+      "src/core/x.cpp",
+      "#include \"../util/rng.h\"\n"
+      "#include <stdio.h>\n"
+      "#include \"core/flow.cpp\"\n"
+      "#include <cstdio>\n"
+      "#include \"util/rng.h\"\n");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"SL008", "SL008", "SL008"}));
+}
+
+TEST(LintRules, FloatBannedInAccountingPathsOnly) {
+  const std::string text = "#pragma once\nfloat ratio(long a, long b);\n";
+  EXPECT_EQ(rule_ids(lint::lint_source("src/tam/t.h", text)),
+            (std::vector<std::string>{"SL009"}));
+  EXPECT_EQ(rule_ids(lint::lint_source("src/core/t.h", text)),
+            (std::vector<std::string>{"SL009"}));
+  EXPECT_TRUE(lint::lint_source("src/pattern/t.h", text).empty());
+  EXPECT_TRUE(lint::lint_source("bench/t.cpp", text).empty());
+}
+
+TEST(LintRules, ImplementationDefinedRandomFacilities) {
+  const auto findings = lint::lint_source(
+      "tests/x.cpp",
+      "#include <random>\n"
+      "std::mt19937 gen(1);\n"
+      "std::uniform_int_distribution<int> d(0, 9);\n"
+      "std::shuffle(v.begin(), v.end(), gen);\n");
+  EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{
+                                    "SL010", "SL010", "SL010", "SL010"}));
+  EXPECT_TRUE(lint::lint_source(
+                  "src/util/rng.h",
+                  "#pragma once\nstd::mt19937 reference(1);\n")
+                  .empty());
+}
+
+TEST(LintStripping, CommentsAndStringsAreIgnored) {
+  EXPECT_TRUE(lint::lint_source("src/core/x.cpp",
+                                "// rand() in a comment\n"
+                                "/* srand(1); std::shuffle too */\n"
+                                "const char* s = \"rand()\";\n"
+                                "const char* r = R\"(srand(2))\";\n")
+                  .empty());
+}
+
+TEST(LintSuppression, InlineDirectives) {
+  // Same line.
+  auto findings = lint::lint_source(
+      "src/core/x.cpp", "int f() { return rand(); }  // sitam-lint: allow(SL001)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+
+  // Previous line, list form, and wildcard.
+  findings = lint::lint_source("src/core/x.cpp",
+                               "// sitam-lint: allow(SL001,SL002)\n"
+                               "int f() { return rand(); }\n"
+                               "// sitam-lint: allow(*)\n"
+                               "int g() { return rand(); }\n"
+                               "int h() { return rand(); }\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_TRUE(findings[1].suppressed);
+  EXPECT_FALSE(findings[2].suppressed) << "directives reach one line only";
+
+  // A directive for a different rule does not suppress.
+  findings = lint::lint_source(
+      "src/core/x.cpp", "int f() { return rand(); }  // sitam-lint: allow(SL002)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(LintFixtures, EveryRuleFiresExactlyWhereSeeded) {
+  lint::Options options;
+  options.root = fixtures_root();
+  options.paths = {fixtures_root()};
+  options.skip_fixture_dirs = false;
+  const lint::Report report = lint::run(options);
+
+  using Expect = std::tuple<std::string, int, std::string>;
+  const std::vector<Expect> expected = {
+      {"src/core/sl002_clock.cpp", 7, "SL002"},
+      {"src/core/sl004_unordered_out.cpp", 10, "SL004"},
+      {"src/core/sl009_float.cpp", 5, "SL009"},
+      {"src/core/sl009_float.cpp", 6, "SL009"},
+      {"src/hypergraph/sl010_random.cpp", 2, "SL010"},
+      {"src/hypergraph/sl010_random.cpp", 7, "SL010"},
+      {"src/hypergraph/sl010_random.cpp", 8, "SL010"},
+      {"src/pattern/sl008_includes.cpp", 2, "SL008"},
+      {"src/pattern/sl008_includes.cpp", 3, "SL008"},
+      {"src/soc/sl007_using.h", 6, "SL007"},
+      {"src/tam/sl001_rng.cpp", 6, "SL001"},
+      {"src/tam/sl001_rng.cpp", 8, "SL001"},
+      {"src/tam/sl005_mutator.cpp", 7, "SL005"},
+      {"src/util/sl003_ptrkey.cpp", 11, "SL003"},
+      {"src/util/sl003_ptrkey.cpp", 12, "SL003"},
+      {"src/wrapper/sl006_guard.h", 1, "SL006"},
+  };
+  std::vector<Expect> actual;
+  for (const auto& f : report.findings) {
+    actual.emplace_back(f.file, f.line, f.rule);
+  }
+  EXPECT_EQ(actual, expected);
+
+  // The suppression fixture contributes only suppressed findings.
+  ASSERT_EQ(report.suppressed.size(), 2u);
+  for (const auto& f : report.suppressed) {
+    EXPECT_EQ(f.file, "src/tam/suppressed.cpp");
+    EXPECT_EQ(f.rule, "SL001");
+  }
+}
+
+TEST(LintAllowlist, RoundTripAndStaleDetection) {
+  lint::Options options;
+  options.root = fixtures_root();
+  options.paths = {fixtures_root()};
+  options.skip_fixture_dirs = false;
+  options.allowlist =
+      lint::parse_allowlist(fixtures_root() / "allowlist.txt");
+  ASSERT_EQ(options.allowlist.size(), 2u);
+  EXPECT_EQ(options.allowlist[0].rule, "SL001");
+  EXPECT_EQ(options.allowlist[0].path, "src/tam/sl001_rng.cpp");
+  EXPECT_FALSE(options.allowlist[0].reason.empty());
+
+  const lint::Report report = lint::run(options);
+
+  // The two SL001 findings from sl001_rng.cpp moved to suppressed...
+  for (const auto& f : report.findings) {
+    EXPECT_FALSE(f.file == "src/tam/sl001_rng.cpp" && f.rule == "SL001");
+  }
+  int allowlisted = 0;
+  for (const auto& f : report.suppressed) {
+    if (f.file == "src/tam/sl001_rng.cpp" && f.rule == "SL001") ++allowlisted;
+  }
+  EXPECT_EQ(allowlisted, 2);
+
+  // ...and the SL009 entry that matches nothing is reported stale.
+  ASSERT_EQ(report.stale_allowlist.size(), 1u);
+  EXPECT_EQ(report.stale_allowlist[0].rule, "SL009");
+}
+
+TEST(LintAllowlist, MalformedFileThrows) {
+  EXPECT_THROW(
+      static_cast<void>(
+          lint::parse_allowlist(fixtures_root() / "allowlist_bad.txt")),
+      std::runtime_error);
+  EXPECT_THROW(static_cast<void>(lint::parse_allowlist(
+                   fixtures_root() / "no_such_allowlist.txt")),
+               std::runtime_error);
+}
+
+// The real tree must lint clean — the same gate as the `lint_repo` ctest,
+// here with a precise failure message listing the offending findings.
+TEST(LintRepo, WholeTreeIsClean) {
+  lint::Options options;
+  options.root = std::filesystem::path(SITAM_REPO_ROOT);
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+    const auto path = options.root / dir;
+    if (std::filesystem::is_directory(path)) options.paths.push_back(path);
+  }
+  ASSERT_FALSE(options.paths.empty());
+  const auto allowlist = options.root / "tools/lint_allowlist.txt";
+  if (std::filesystem::exists(allowlist)) {
+    options.allowlist = lint::parse_allowlist(allowlist);
+  }
+  const lint::Report report = lint::run(options);
+  std::string listing;
+  for (const auto& f : report.findings) {
+    listing += f.file + ":" + std::to_string(f.line) + ": [" + f.rule +
+               "] " + f.message + "\n";
+  }
+  EXPECT_TRUE(report.findings.empty()) << listing;
+  EXPECT_TRUE(report.stale_allowlist.empty());
+  EXPECT_GT(report.files_scanned, 100);
+}

@@ -1,0 +1,966 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sitam::lint {
+
+namespace {
+
+constexpr Rule kRules[] = {
+    {"SL001",
+     "banned RNG source (rand/srand/std::random_device) outside "
+     "src/util/rng.*; all randomness flows through sitam::Rng"},
+    {"SL002",
+     "wall-clock read (std::chrono ...::now(), std::time, clock()) outside "
+     "src/util/stopwatch.h and src/util/log.cpp"},
+    {"SL003",
+     "pointer-keyed associative container or std::hash<T*>: iteration and "
+     "hash order depend on allocation addresses"},
+    {"SL004",
+     "iteration over std::unordered_map/std::unordered_set in a translation "
+     "unit that writes reports, JSON, CSV, tables, or hashes"},
+    {"SL005",
+     "mutating function in src/tam or src/sitest without a "
+     "SITAM_CHECK/SITAM_DCHECK or validating throw"},
+    {"SL006", "header without #pragma once"},
+    {"SL007", "using-namespace directive in a header"},
+    {"SL008",
+     "include hygiene: no \"..\"/\".\" relative includes, no .cpp includes, "
+     "use <cstdio>-style headers instead of <stdio.h>"},
+    {"SL009",
+     "float in a test-time accounting path (src/tam, src/sitest, src/core, "
+     "src/wrapper): use double or std::int64_t cycle counts"},
+    {"SL010",
+     "implementation-defined <random> facility (distributions, "
+     "std::shuffle/std::sample, engines) outside src/util/rng.*"},
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Comment/string-stripped view of a file: `code[i]` mirrors line i with
+/// comments and literal contents blanked, `allow[i]` holds the rule ids an
+/// inline directive enables on line i (a directive covers its own line and
+/// the following line; "*" means every rule).
+struct Stripped {
+  std::vector<std::string> raw;   ///< Original lines (for include paths).
+  std::vector<std::string> code;
+  std::vector<std::set<std::string>> allow;
+};
+
+void record_allow(Stripped& out, std::size_t line, const std::string& comment) {
+  const std::string tag = "sitam-lint:";
+  std::size_t at = comment.find(tag);
+  while (at != std::string::npos) {
+    std::size_t open = comment.find("allow(", at);
+    if (open == std::string::npos) break;
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(open + 6, close - open - 6);
+    std::string token;
+    std::istringstream items(inside);
+    while (std::getline(items, token, ',')) {
+      const auto b = token.find_first_not_of(" \t");
+      const auto e = token.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      token = token.substr(b, e - b + 1);
+      for (const std::size_t covered : {line, line + 1}) {
+        if (covered < out.allow.size()) out.allow[covered].insert(token);
+      }
+    }
+    at = comment.find(tag, close);
+  }
+}
+
+Stripped strip(const std::string& text) {
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    for (const char c : text) {
+      if (c == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else if (c != '\r') {
+        current.push_back(c);
+      }
+    }
+    lines.push_back(current);
+  }
+
+  Stripped out;
+  out.raw = lines;
+  out.code.assign(lines.size(), "");
+  out.allow.assign(lines.size(), {});
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string comment;        // Accumulates the current comment's text.
+  std::size_t comment_line = 0;
+  std::string raw_delim;      // )delim" terminator of the raw string.
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    std::string& code = out.code[li];
+    if (state == State::kLineComment) state = State::kCode;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment = line.substr(i + 2);
+            record_allow(out, li, comment);
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            comment.clear();
+            comment_line = li;
+            ++i;
+          } else if (c == '"') {
+            // Raw string? Look back for R / u8R / LR / UR / uR.
+            std::size_t r = i;
+            if (r > 0 && line[r - 1] == 'R' &&
+                (r == 1 || !ident_char(line[r - 2]) || line[r - 2] == '8' ||
+                 line[r - 2] == 'u' || line[r - 2] == 'U' ||
+                 line[r - 2] == 'L')) {
+              state = State::kRawString;
+              std::size_t open = line.find('(', i);
+              if (open == std::string::npos) open = line.size();
+              raw_delim = ")" + line.substr(i + 1, open - i - 1) + "\"";
+              code.push_back('"');
+            } else {
+              state = State::kString;
+              code.push_back('"');
+            }
+          } else if (c == '\'') {
+            state = State::kChar;
+            code.push_back('\'');
+          } else {
+            code.push_back(c);
+          }
+          break;
+        case State::kLineComment:
+          break;  // Unreachable within the loop; reset per line above.
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            record_allow(out, comment_line, comment);
+            if (li != comment_line) record_allow(out, li, comment);
+            state = State::kCode;
+            ++i;
+          } else {
+            comment.push_back(c);
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            code.push_back('"');
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            code.push_back('\'');
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString: {
+          const std::size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = line.size();
+          } else {
+            i = end + raw_delim.size() - 1;
+            code.push_back('"');
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;  // Unterminated literal; don't poison the file.
+    }
+  }
+  // A directive on a comment-only line covers the first code line below it,
+  // even across a multi-line comment block.
+  for (std::size_t li = 0; li + 1 < out.code.size(); ++li) {
+    if (out.code[li].find_first_not_of(" \t") == std::string::npos) {
+      out.allow[li + 1].insert(out.allow[li].begin(), out.allow[li].end());
+    }
+  }
+  return out;
+}
+
+/// Position of `word` in `line` as a whole identifier, or npos.
+std::size_t find_word(const std::string& line, const std::string& word,
+                      std::size_t from = 0) {
+  std::size_t at = line.find(word, from);
+  while (at != std::string::npos) {
+    const bool left_ok = at == 0 || !ident_char(line[at - 1]);
+    const std::size_t after = at + word.size();
+    const bool right_ok = after >= line.size() || !ident_char(line[after]);
+    if (left_ok && right_ok) return at;
+    at = line.find(word, at + 1);
+  }
+  return std::string::npos;
+}
+
+bool has_word(const std::string& line, const std::string& word) {
+  return find_word(line, word) != std::string::npos;
+}
+
+/// True if `word` occurs as an identifier immediately followed by `(`
+/// (ignoring whitespace) — i.e. looks like a call.
+bool has_call(const std::string& line, const std::string& word) {
+  std::size_t at = find_word(line, word);
+  while (at != std::string::npos) {
+    std::size_t i = at + word.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '(') return true;
+    at = find_word(line, word, at + 1);
+  }
+  return false;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header_path(const std::string& path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp") ||
+         ends_with(path, ".inl");
+}
+
+/// First template argument of the `<...>` starting at `open` (index of '<'),
+/// or "" if the line ends before it closes.
+std::string first_template_arg(const std::string& line, std::size_t open) {
+  int depth = 0;
+  std::string arg;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<') {
+      ++depth;
+      if (depth == 1) continue;
+    } else if (c == '>') {
+      --depth;
+      if (depth == 0) return arg;
+    } else if (c == ',' && depth == 1) {
+      return arg;
+    }
+    if (depth >= 1) arg.push_back(c);
+  }
+  return "";
+}
+
+struct Context {
+  std::string path;  // Normalized, forward slashes.
+  const Stripped& file;
+  std::vector<Finding>& findings;
+
+  void emit(std::size_t line_index, const char* rule, std::string message) {
+    Finding f;
+    f.file = path;
+    f.line = static_cast<int>(line_index) + 1;
+    f.rule = rule;
+    f.message = std::move(message);
+    const auto& allowed = file.allow[line_index];
+    f.suppressed = allowed.count(rule) != 0 || allowed.count("*") != 0;
+    findings.push_back(std::move(f));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SL001 / SL002 / SL010 — nondeterminism sources.
+
+void check_rng_and_clock(Context& ctx) {
+  const bool rng_exempt = starts_with(ctx.path, "src/util/rng.");
+  const bool clock_exempt = ctx.path == "src/util/stopwatch.h" ||
+                            ctx.path == "src/util/log.cpp";
+  for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
+    const std::string& line = ctx.file.code[li];
+    if (!rng_exempt) {
+      for (const char* banned : {"rand", "srand", "random_device"}) {
+        if (has_word(line, banned)) {
+          ctx.emit(li, "SL001",
+                   std::string("'") + banned +
+                       "' is a banned randomness source; seed a sitam::Rng "
+                       "(src/util/rng.h) instead");
+        }
+      }
+      for (const char* facility :
+           {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+            "default_random_engine", "ranlux24", "ranlux48", "knuth_b"}) {
+        if (has_word(line, facility)) {
+          ctx.emit(li, "SL010",
+                   std::string("'") + facility +
+                       "' bypasses sitam::Rng; all randomness must flow "
+                       "through src/util/rng.h");
+        }
+      }
+      for (const char* algo : {"shuffle", "sample"}) {
+        const std::size_t at = find_word(line, algo);
+        if (at != std::string::npos && at >= 5 &&
+            line.compare(at - 5, 5, "std::") == 0) {
+          ctx.emit(li, "SL010",
+                   std::string("std::") + algo +
+                       " is implementation-defined even with a fixed URBG; "
+                       "use sitam::Rng::shuffle / Rng::sample_indices");
+        }
+      }
+      // Identifiers ending in _distribution (<random> distributions are
+      // not specified bit-exactly across standard libraries).
+      std::size_t at = line.find("_distribution");
+      while (at != std::string::npos) {
+        const std::size_t after = at + 13;
+        if ((after >= line.size() || !ident_char(line[after])) && at > 0 &&
+            ident_char(line[at - 1])) {
+          ctx.emit(li, "SL010",
+                   "<random> distributions are not bit-exact across "
+                   "standard libraries; use sitam::Rng distributions");
+          break;
+        }
+        at = line.find("_distribution", at + 1);
+      }
+      if (line.find("#include") != std::string::npos &&
+          line.find("<random>") != std::string::npos) {
+        ctx.emit(li, "SL010",
+                 "#include <random> outside src/util/rng.*; all randomness "
+                 "flows through sitam::Rng");
+      }
+    }
+    if (!clock_exempt) {
+      const bool now_call = line.find("::now(") != std::string::npos ||
+                            line.find(".now(") != std::string::npos;
+      const bool time_call =
+          line.find("std::time") != std::string::npos &&
+          has_call(line, "time");
+      const bool c_clock = has_call(line, "clock") ||
+                           has_word(line, "gettimeofday") ||
+                           has_word(line, "clock_gettime");
+      if (now_call || time_call || c_clock) {
+        ctx.emit(li, "SL002",
+                 "wall-clock read; timing belongs in sitam::Stopwatch "
+                 "(src/util/stopwatch.h) so results never depend on it");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL003 — pointer-keyed containers / hashes.
+
+void check_pointer_keys(Context& ctx) {
+  static const char* kContainers[] = {"map",           "set",
+                                      "multimap",      "multiset",
+                                      "unordered_map", "unordered_set",
+                                      "unordered_multimap",
+                                      "unordered_multiset", "hash"};
+  for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
+    const std::string& line = ctx.file.code[li];
+    for (const char* name : kContainers) {
+      std::size_t at = find_word(line, name);
+      while (at != std::string::npos) {
+        const std::size_t open = at + std::string(name).size();
+        if (open < line.size() && line[open] == '<') {
+          const std::string key = first_template_arg(line, open);
+          if (key.find('*') != std::string::npos &&
+              key.find("char") == std::string::npos) {
+            ctx.emit(li, "SL003",
+                     std::string(name) + "<" + key +
+                         ", ...>: pointer keys order/hash by allocation "
+                         "address, which varies run to run");
+            break;
+          }
+        }
+        at = find_word(line, name, at + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL004 — unordered-container iteration in an output-writing TU.
+
+bool writes_output(const Stripped& file) {
+  static const char* kIncludes[] = {
+      "core/report.h", "wrapper/report.h", "util/json.h",  "util/table.h",
+      "pattern/io.h",  "sitest/io.h",      "soc/writer.h", "core/gantt.h"};
+  static const char* kWords[] = {"ostream",  "ofstream", "ostringstream",
+                                 "fprintf",  "printf",   "cout",
+                                 "to_json",  "to_csv",   "hash_combine",
+                                 "architecture_hash"};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    // Include targets live inside string literals, so match the raw line
+    // (guarded by the stripped line: commented-out includes don't count).
+    if (file.code[li].find("#include") != std::string::npos) {
+      for (const char* inc : kIncludes) {
+        if (file.raw[li].find(inc) != std::string::npos) return true;
+      }
+    }
+    for (const char* word : kWords) {
+      if (has_word(file.code[li], word)) return true;
+    }
+  }
+  return false;
+}
+
+void check_unordered_iteration(Context& ctx) {
+  if (!writes_output(ctx.file)) return;
+
+  // Pass 1: names declared with an unordered container type. Template
+  // arguments may spill over a line break, so peek ahead two lines.
+  std::set<std::string> names;
+  const auto& code = ctx.file.code;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    for (const char* type : {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"}) {
+      std::size_t at = find_word(code[li], type);
+      if (at == std::string::npos) continue;
+      std::string joined = code[li];
+      for (std::size_t extra = 1; extra <= 2 && li + extra < code.size();
+           ++extra) {
+        joined += ' ' + code[li + extra];
+      }
+      at = find_word(joined, type);
+      std::size_t i = at + std::string(type).size();
+      if (i >= joined.size() || joined[i] != '<') continue;
+      int depth = 0;
+      for (; i < joined.size(); ++i) {
+        if (joined[i] == '<') ++depth;
+        if (joined[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      while (i < joined.size() &&
+             (std::isspace(static_cast<unsigned char>(joined[i])) != 0 ||
+              joined[i] == '&' || joined[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < joined.size() && ident_char(joined[i])) name += joined[i++];
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  if (names.empty()) return;
+
+  // Pass 2: iteration over a collected name.
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    for (const std::string& name : names) {
+      bool iterates = false;
+      if (has_word(line, "for")) {
+        const std::size_t at = find_word(line, name);
+        if (at != std::string::npos) {
+          std::size_t j = at;
+          while (j > 0 && std::isspace(static_cast<unsigned char>(
+                              line[j - 1])) != 0) {
+            --j;
+          }
+          if (j > 0 && line[j - 1] == ':' &&
+              (j < 2 || line[j - 2] != ':')) {
+            iterates = true;  // Ranged-for `: name)`.
+          }
+        }
+      }
+      for (const char* getter : {".begin(", ".cbegin(", ".rbegin("}) {
+        const std::size_t at = line.find(name + getter);
+        if (at != std::string::npos &&
+            (at == 0 || !ident_char(line[at - 1]))) {
+          iterates = true;
+        }
+      }
+      if (iterates) {
+        ctx.emit(li, "SL004",
+                 "iteration over unordered container '" + name +
+                     "' in a TU that writes reports/JSON/CSV/hashes; "
+                     "iteration order is unspecified — sort keys first");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL005 — mutating functions in src/tam & src/sitest must carry a check.
+
+struct FunctionDef {
+  std::string signature;  // Everything from the first signature line to '{'.
+  std::size_t first_line = 0;
+  std::size_t body_begin = 0;  // Line of the opening '{'.
+  std::size_t body_end = 0;    // Line of the matching '}'.
+};
+
+/// Extremely small structural pass: finds top-level (namespace-scope)
+/// function definitions by brace matching on stripped code.
+std::vector<FunctionDef> find_functions(const Stripped& file) {
+  std::vector<FunctionDef> defs;
+  enum class Frame { kNamespace, kType, kFunction, kOther };
+  std::vector<Frame> stack;
+  std::string pending;
+  std::size_t pending_line = 0;
+  bool pending_active = false;
+  FunctionDef current;
+  bool in_function = false;
+  std::size_t function_depth = 0;
+
+  const auto& code = file.code;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    if (!line.empty() && line[0] == '#') continue;  // Preprocessor.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '{') {
+        Frame frame = Frame::kOther;
+        const bool at_top =
+            std::all_of(stack.begin(), stack.end(),
+                        [](Frame f) { return f == Frame::kNamespace; });
+        if (has_word(pending, "namespace")) {
+          frame = Frame::kNamespace;
+        } else if ((has_word(pending, "class") ||
+                    has_word(pending, "struct") || has_word(pending, "enum") ||
+                    has_word(pending, "union")) &&
+                   pending.find('(') == std::string::npos) {
+          frame = Frame::kType;
+        } else if (at_top && pending.find('(') != std::string::npos &&
+                   pending.find('=') == std::string::npos) {
+          frame = Frame::kFunction;
+          current = FunctionDef{};
+          current.signature = pending;
+          current.first_line = pending_line;
+          current.body_begin = li;
+          in_function = true;
+          function_depth = stack.size();
+        }
+        stack.push_back(frame);
+        pending.clear();
+        pending_active = false;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          const Frame frame = stack.back();
+          stack.pop_back();
+          if (in_function && frame == Frame::kFunction &&
+              stack.size() == function_depth) {
+            current.body_end = li;
+            defs.push_back(current);
+            in_function = false;
+          }
+        }
+        pending.clear();
+        pending_active = false;
+      } else if (c == ';') {
+        pending.clear();
+        pending_active = false;
+      } else {
+        if (!pending_active &&
+            std::isspace(static_cast<unsigned char>(c)) != 0) {
+          continue;
+        }
+        if (!pending_active) {
+          pending_active = true;
+          pending_line = li;
+        }
+        pending.push_back(c);
+      }
+    }
+    pending.push_back(' ');
+  }
+  return defs;
+}
+
+/// Name of the function: identifier right before the first '(' of the
+/// parameter list. For "T C::f(" returns "f" with qualifier "C".
+void signature_names(const std::string& sig, std::string* qualifier,
+                     std::string* name) {
+  const std::size_t paren = sig.find('(');
+  if (paren == std::string::npos) return;
+  std::size_t end = paren;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(sig[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(sig[begin - 1])) --begin;
+  *name = sig.substr(begin, end - begin);
+  if (begin >= 2 && sig[begin - 1] == ':' && sig[begin - 2] == ':') {
+    std::size_t qe = begin - 2;
+    std::size_t qb = qe;
+    while (qb > 0 && (ident_char(sig[qb - 1]) || sig[qb - 1] == '>' ||
+                      sig[qb - 1] == '<')) {
+      --qb;
+    }
+    *qualifier = sig.substr(qb, qe - qb);
+  }
+}
+
+/// Parameter list between the function's '(' and its matching ')'.
+std::string parameter_list(const std::string& sig) {
+  const std::size_t open = sig.find('(');
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < sig.size(); ++i) {
+    if (sig[i] == '(') ++depth;
+    if (sig[i] == ')' && --depth == 0) {
+      return sig.substr(open + 1, i - open - 1);
+    }
+  }
+  return sig.substr(open + 1);
+}
+
+/// Text after the parameter list's closing ')' (cv-qualifiers, noexcept,
+/// trailing return, ctor-initializers).
+std::string after_parameters(const std::string& sig) {
+  const std::size_t open = sig.find('(');
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < sig.size(); ++i) {
+    if (sig[i] == '(') ++depth;
+    if (sig[i] == ')' && --depth == 0) return sig.substr(i + 1);
+  }
+  return "";
+}
+
+bool has_mutable_ref_param(const std::string& params) {
+  int depth = 0;
+  std::string param;
+  std::vector<std::string> parts;
+  for (const char c : params) {
+    if (c == '<' || c == '(' || c == '[') ++depth;
+    if (c == '>' || c == ')' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(param);
+      param.clear();
+    } else {
+      param.push_back(c);
+    }
+  }
+  parts.push_back(param);
+  for (const std::string& p : parts) {
+    const std::size_t amp = p.find('&');
+    if (amp == std::string::npos) continue;
+    if (amp + 1 < p.size() && p[amp + 1] == '&') continue;  // Rvalue ref.
+    if (!has_word(p, "const")) return true;
+  }
+  return false;
+}
+
+void check_mutating_functions(Context& ctx) {
+  const bool in_scope = (starts_with(ctx.path, "src/tam/") ||
+                         starts_with(ctx.path, "src/sitest/")) &&
+                        ends_with(ctx.path, ".cpp");
+  if (!in_scope) return;
+
+  for (const FunctionDef& def : find_functions(ctx.file)) {
+    std::string qualifier;
+    std::string name;
+    signature_names(def.signature, &qualifier, &name);
+    if (name.empty() || starts_with(name, "operator")) continue;
+    if (!qualifier.empty() && qualifier == name) continue;  // Constructor.
+    if (!name.empty() && name[0] == '~') continue;          // Destructor.
+
+    const std::string after = after_parameters(def.signature);
+    const std::string before_init = after.substr(0, after.find(':'));
+    const bool is_member = def.signature.find("::") != std::string::npos &&
+                           !qualifier.empty();
+    bool mutating = false;
+    if (is_member) {
+      mutating = !has_word(before_init, "const");
+    } else {
+      mutating = has_mutable_ref_param(parameter_list(def.signature));
+    }
+    if (!mutating) continue;
+
+    int body_lines = 0;
+    bool has_check = false;
+    for (std::size_t li = def.body_begin; li <= def.body_end &&
+                                          li < ctx.file.code.size();
+         ++li) {
+      const std::string& line = ctx.file.code[li];
+      if (line.find_first_not_of(" \t{}") != std::string::npos) ++body_lines;
+      if (line.find("SITAM_CHECK") != std::string::npos ||
+          line.find("SITAM_DCHECK") != std::string::npos ||
+          has_word(line, "throw")) {
+        has_check = true;
+      }
+    }
+    if (body_lines < 3 || has_check) continue;  // Trivial setter or checked.
+
+    // Honour a directive on the signature line (or the line above it).
+    Finding f;
+    f.file = ctx.path;
+    f.line = static_cast<int>(def.first_line) + 1;
+    f.rule = "SL005";
+    f.message = "mutating function '" +
+                (qualifier.empty() ? name : qualifier + "::" + name) +
+                "' has no SITAM_CHECK/SITAM_DCHECK or validating throw";
+    const auto& allowed = ctx.file.allow[def.first_line];
+    f.suppressed = allowed.count("SL005") != 0 || allowed.count("*") != 0;
+    ctx.findings.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL006 / SL007 — header hygiene.
+
+void check_header_rules(Context& ctx) {
+  if (!is_header_path(ctx.path)) return;
+  bool pragma_once = false;
+  for (const std::string& line : ctx.file.code) {
+    if (line.find("#pragma") != std::string::npos &&
+        line.find("once") != std::string::npos) {
+      pragma_once = true;
+      break;
+    }
+  }
+  if (!pragma_once) {
+    ctx.emit(0, "SL006", "header is missing #pragma once");
+  }
+  for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
+    const std::string& line = ctx.file.code[li];
+    if (has_word(line, "using") && has_word(line, "namespace")) {
+      ctx.emit(li, "SL007",
+               "using-namespace in a header leaks into every includer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL008 — include hygiene.
+
+void check_includes(Context& ctx) {
+  static const char* kCCompat[] = {
+      "assert.h", "ctype.h",  "errno.h",  "float.h",  "inttypes.h",
+      "limits.h", "locale.h", "math.h",   "setjmp.h", "signal.h",
+      "stdarg.h", "stddef.h", "stdint.h", "stdio.h",  "stdlib.h",
+      "string.h", "time.h",   "wchar.h"};
+  for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
+    if (ctx.file.code[li].find("#include") == std::string::npos) continue;
+    // Quote-include targets are string literals, blanked in the stripped
+    // view; extract them from the raw line instead.
+    const std::string& line = ctx.file.raw[li];
+    const std::size_t inc = line.find("#include");
+    if (inc == std::string::npos) continue;
+    std::size_t open = line.find_first_of("<\"", inc);
+    if (open == std::string::npos) continue;
+    const char close_ch = line[open] == '<' ? '>' : '"';
+    const std::size_t close = line.find(close_ch, open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = line.substr(open + 1, close - open - 1);
+    if (starts_with(target, "../") || starts_with(target, "./") ||
+        target.find("/../") != std::string::npos) {
+      ctx.emit(li, "SL008",
+               "relative include '" + target +
+                   "'; include subsystem-relative paths (e.g. \"util/rng.h\")");
+    }
+    if (ends_with(target, ".cpp") || ends_with(target, ".cc")) {
+      ctx.emit(li, "SL008", "never #include an implementation file");
+    }
+    if (line[open] == '<') {
+      for (const char* legacy : kCCompat) {
+        if (target == legacy) {
+          ctx.emit(li, "SL008",
+                   "use <c" + target.substr(0, target.size() - 2) +
+                       "> instead of <" + target + ">");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL009 — float in accounting paths.
+
+void check_float(Context& ctx) {
+  const bool in_scope =
+      starts_with(ctx.path, "src/tam/") || starts_with(ctx.path, "src/sitest/") ||
+      starts_with(ctx.path, "src/core/") || starts_with(ctx.path, "src/wrapper/");
+  if (!in_scope) return;
+  for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
+    if (has_word(ctx.file.code[li], "float")) {
+      ctx.emit(li, "SL009",
+               "float in a test-time accounting path; cycle counts are "
+               "std::int64_t and ratios are double");
+    }
+  }
+}
+
+std::string normalize(const std::filesystem::path& p) {
+  std::string s = p.generic_string();
+  while (starts_with(s, "./")) s = s.substr(2);
+  return s;
+}
+
+bool lintable_file(const std::filesystem::path& p) {
+  static const char* kExtensions[] = {".h", ".hpp", ".cpp", ".cc", ".cxx",
+                                      ".inl"};
+  const std::string ext = p.extension().string();
+  return std::any_of(std::begin(kExtensions), std::end(kExtensions),
+                     [&](const char* e) { return ext == e; });
+}
+
+}  // namespace
+
+std::span<const Rule> rules() { return kRules; }
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& text) {
+  const Stripped stripped = strip(text);
+  std::vector<Finding> findings;
+  Context ctx{path, stripped, findings};
+  check_rng_and_clock(ctx);
+  check_pointer_keys(ctx);
+  check_unordered_iteration(ctx);
+  check_mutating_functions(ctx);
+  check_header_rules(ctx);
+  check_includes(ctx);
+  check_float(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<AllowlistEntry> parse_allowlist(
+    const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("sitam_lint: cannot open allowlist: " +
+                             file.string());
+  }
+  std::vector<AllowlistEntry> entries;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    std::istringstream fields(line);
+    AllowlistEntry entry;
+    fields >> entry.rule >> entry.path;
+    std::getline(fields, entry.reason);
+    const std::size_t rb = entry.reason.find_first_not_of(" \t");
+    entry.reason = rb == std::string::npos ? "" : entry.reason.substr(rb);
+    const bool rule_ok =
+        entry.rule == "*" ||
+        std::any_of(std::begin(kRules), std::end(kRules),
+                    [&](const Rule& r) { return entry.rule == r.id; });
+    if (!rule_ok || entry.path.empty() || entry.reason.empty()) {
+      throw std::runtime_error(
+          "sitam_lint: bad allowlist line " + std::to_string(line_no) +
+          " (want: SLxxx <path> <justification>): " + line);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Report run(const Options& options) {
+  Report report;
+
+  // Collect files: explicit files always; directories walked recursively
+  // with sorted, deterministic order.
+  std::vector<std::filesystem::path> files;
+  for (const auto& path : options.paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> in_dir;
+      for (std::filesystem::recursive_directory_iterator it(
+               path, std::filesystem::directory_options::skip_permission_denied,
+               ec),
+           end;
+           it != end; ++it) {
+        const std::filesystem::path& entry = it->path();
+        const std::string base = entry.filename().string();
+        if (it->is_directory()) {
+          if (base == ".git" || starts_with(base, "build") ||
+              (options.skip_fixture_dirs && base == "lint_fixtures")) {
+            it.disable_recursion_pending();
+          }
+          continue;
+        }
+        if (lintable_file(entry)) in_dir.push_back(entry);
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else if (std::filesystem::exists(path, ec)) {
+      files.push_back(path);
+    } else {
+      throw std::runtime_error("sitam_lint: no such path: " + path.string());
+    }
+  }
+
+  std::vector<bool> allowlist_used(options.allowlist.size(), false);
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("sitam_lint: cannot read " + file.string());
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::error_code ec;
+    std::filesystem::path rel =
+        std::filesystem::relative(file, options.root, ec);
+    if (ec || rel.empty() || rel.generic_string().rfind("..", 0) == 0) {
+      rel = file;
+    }
+    const std::string path = normalize(rel);
+
+    ++report.files_scanned;
+    for (Finding& f : lint_source(path, text.str())) {
+      if (!f.suppressed) {
+        for (std::size_t i = 0; i < options.allowlist.size(); ++i) {
+          const AllowlistEntry& entry = options.allowlist[i];
+          if (entry.path == f.file &&
+              (entry.rule == "*" || entry.rule == f.rule)) {
+            f.suppressed = true;
+            allowlist_used[i] = true;
+            break;
+          }
+        }
+      }
+      (f.suppressed ? report.suppressed : report.findings)
+          .push_back(std::move(f));
+    }
+  }
+  for (std::size_t i = 0; i < options.allowlist.size(); ++i) {
+    if (!allowlist_used[i]) {
+      report.stale_allowlist.push_back(options.allowlist[i]);
+    }
+  }
+  return report;
+}
+
+void print_findings(std::ostream& os, std::span<const Finding> findings) {
+  for (const Finding& f : findings) {
+    os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+       << '\n';
+  }
+}
+
+}  // namespace sitam::lint

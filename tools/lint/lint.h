@@ -1,0 +1,96 @@
+// sitam-lint: repo-native static analysis for determinism and invariant
+// hygiene.
+//
+// PR 1 made bit-identical parallel optimization a headline guarantee; this
+// linter turns the conventions that guarantee rests on into enforced rules.
+// It is a token/line-level analyzer (no libclang): every file is stripped of
+// comments and string literals, then a fixed rule table (SL001..SL010) is
+// matched against the remaining code. Findings can be suppressed inline with
+//
+//   // sitam-lint: allow(SL004)            (this line or the next line)
+//   // sitam-lint: allow(SL004,SL005)      (several rules)
+//   // sitam-lint: allow(*)                (every rule)
+//
+// or per-file via an allowlist (tools/lint_allowlist.txt) whose entries
+// carry a one-line justification. See docs/STATIC_ANALYSIS.md for the rule
+// catalogue and the rationale behind each rule.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sitam::lint {
+
+/// One rule in the catalogue. `id` is stable ("SL001"); `summary` is the
+/// one-line description printed by --list-rules.
+struct Rule {
+  const char* id;
+  const char* summary;
+};
+
+/// The full rule table, ordered by id.
+[[nodiscard]] std::span<const Rule> rules();
+
+/// One diagnostic. `file` is the path exactly as the scanner saw it
+/// (repo-relative when walking from a root), `line` is 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  /// True when an inline `sitam-lint: allow(...)` directive covers the
+  /// finding. Allowlist suppression happens later, in run().
+  bool suppressed = false;
+};
+
+/// One allowlist entry: `rule` (or "*") is exempted in `path`.
+struct AllowlistEntry {
+  std::string rule;
+  std::string path;
+  std::string reason;
+};
+
+struct Options {
+  /// Scanned paths (files or directories), absolute or cwd-relative.
+  std::vector<std::filesystem::path> paths;
+  /// Paths in findings are reported relative to this root when possible.
+  std::filesystem::path root = ".";
+  std::vector<AllowlistEntry> allowlist;
+  /// Skip directories named "lint_fixtures" (they contain deliberate
+  /// violations for the linter's own tests). The lint tests disable this.
+  bool skip_fixture_dirs = true;
+};
+
+struct Report {
+  std::vector<Finding> findings;    ///< Unsuppressed; sorted by file/line.
+  std::vector<Finding> suppressed;  ///< Inline- or allowlist-suppressed.
+  /// Allowlist entries that matched no finding this run (likely stale).
+  std::vector<AllowlistEntry> stale_allowlist;
+  int files_scanned = 0;
+};
+
+/// Lints one in-memory source. `path` must use forward slashes and be
+/// repo-relative (several rules are scoped by directory). Returns every
+/// finding, including inline-suppressed ones (check Finding::suppressed);
+/// the allowlist is applied by run(), not here.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& text);
+
+/// Walks Options::paths, lints every C++ source file (.h/.hpp/.cpp/.cc/
+/// .cxx/.inl), applies the allowlist, and returns the combined report.
+/// Directory traversal is sorted so output is deterministic.
+[[nodiscard]] Report run(const Options& options);
+
+/// Parses an allowlist file. Each non-comment line is
+///   SLxxx <path> <justification...>
+/// Throws std::runtime_error on a malformed line.
+[[nodiscard]] std::vector<AllowlistEntry> parse_allowlist(
+    const std::filesystem::path& file);
+
+/// Prints findings as "file:line: [SLxxx] message", one per line.
+void print_findings(std::ostream& os, std::span<const Finding> findings);
+
+}  // namespace sitam::lint

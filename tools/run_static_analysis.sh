@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Local/CI static-analysis gate:
+#   1. clang-format check (skipped with a notice when clang-format is absent)
+#   2. sitam_lint over the whole tree (zero unsuppressed findings required)
+#   3. AddressSanitizer + UndefinedBehaviorSanitizer builds of the tier-1
+#      test suite (ctest -L asan in each), with SITAM_DCHECKs armed
+#
+# Usage: tools/run_static_analysis.sh [--skip-sanitizers]
+# Exits nonzero on the first failing step.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+skip_sanitizers=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-sanitizers) skip_sanitizers=1 ;;
+    *) echo "usage: $0 [--skip-sanitizers]" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "clang-format check"
+if command -v clang-format >/dev/null 2>&1; then
+  # Fixture files deliberately violate style/rules; skip them.
+  mapfile -t sources < <(git ls-files '*.h' '*.cpp' | grep -v lint_fixtures)
+  clang-format --dry-run -Werror "${sources[@]}"
+  echo "clang-format: ${#sources[@]} files clean"
+else
+  echo "clang-format not installed; skipping format check"
+fi
+
+step "sitam_lint (whole tree)"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${jobs}" --target sitam_lint
+./build/tools/sitam_lint --root="${repo_root}"
+
+if [[ "${skip_sanitizers}" -eq 1 ]]; then
+  echo "sanitizer builds skipped (--skip-sanitizers)"
+  exit 0
+fi
+
+for preset in asan ubsan; do
+  step "${preset}: build + tier-1 tests"
+  cmake --preset "${preset}" >/dev/null
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo
+echo "static analysis: all gates passed"

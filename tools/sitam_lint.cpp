@@ -1,0 +1,121 @@
+// sitam_lint command-line driver.
+//
+//   sitam_lint [options] [path...]
+//
+// With no paths, scans src/, tools/, bench/, tests/ and examples/ under
+// --root. Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage or
+// I/O error. Output is machine-readable, one finding per line:
+//
+//   file:line: [SLxxx] message
+//
+// See docs/STATIC_ANALYSIS.md for the rule catalogue.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: sitam_lint [options] [path...]\n"
+        "  --root=DIR          repo root (default: cwd); findings are\n"
+        "                      reported relative to it\n"
+        "  --allowlist=FILE    allowlist file (default: ROOT/tools/\n"
+        "                      lint_allowlist.txt when present)\n"
+        "  --no-allowlist      ignore the default allowlist\n"
+        "  --include-fixtures  also scan lint_fixtures/ directories\n"
+        "  --list-rules        print the rule catalogue and exit\n"
+        "  -q, --quiet         findings only, no summary\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  sitam::lint::Options options;
+  options.root = fs::current_path();
+  std::string allowlist_arg;
+  bool no_allowlist = false;
+  bool quiet = false;
+  std::vector<std::string> raw_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : sitam::lint::rules()) {
+        std::cout << rule.id << "  " << rule.summary << '\n';
+      }
+      return 0;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      options.root = fs::path(value("--root="));
+    } else if (arg.rfind("--allowlist=", 0) == 0) {
+      allowlist_arg = value("--allowlist=");
+    } else if (arg == "--no-allowlist") {
+      no_allowlist = true;
+    } else if (arg == "--include-fixtures") {
+      options.skip_fixture_dirs = false;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sitam_lint: unknown option: " << arg << '\n';
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      raw_paths.push_back(arg);
+    }
+  }
+
+  try {
+    options.root = fs::absolute(options.root).lexically_normal();
+    if (raw_paths.empty()) {
+      for (const char* dir :
+           {"src", "tools", "bench", "tests", "examples"}) {
+        const fs::path candidate = options.root / dir;
+        if (fs::is_directory(candidate)) options.paths.push_back(candidate);
+      }
+      if (options.paths.empty()) {
+        std::cerr << "sitam_lint: nothing to scan under " << options.root
+                  << '\n';
+        return 2;
+      }
+    } else {
+      for (const std::string& p : raw_paths) options.paths.emplace_back(p);
+    }
+
+    fs::path allowlist_file;
+    if (!allowlist_arg.empty()) {
+      allowlist_file = allowlist_arg;
+    } else if (!no_allowlist) {
+      const fs::path candidate = options.root / "tools/lint_allowlist.txt";
+      if (fs::exists(candidate)) allowlist_file = candidate;
+    }
+    if (!allowlist_file.empty()) {
+      options.allowlist = sitam::lint::parse_allowlist(allowlist_file);
+    }
+
+    const sitam::lint::Report report = sitam::lint::run(options);
+    sitam::lint::print_findings(std::cout, report.findings);
+    for (const auto& entry : report.stale_allowlist) {
+      std::cerr << "sitam_lint: warning: stale allowlist entry (no match): "
+                << entry.rule << ' ' << entry.path << '\n';
+    }
+    if (!quiet) {
+      std::cerr << "sitam_lint: " << report.files_scanned << " files, "
+                << report.findings.size() << " finding(s), "
+                << report.suppressed.size() << " suppressed\n";
+    }
+    return report.findings.empty() ? 0 : 1;
+  } catch (const std::exception& err) {
+    std::cerr << err.what() << '\n';
+    return 2;
+  }
+}
