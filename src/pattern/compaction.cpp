@@ -1,20 +1,27 @@
 #include "pattern/compaction.h"
 
 #include <algorithm>
+#include <future>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "pattern/packed.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace sitam {
 
 namespace {
 
 /// Dense, epoch-stamped view of one growing compacted pattern. Checking a
-/// sparse candidate against it is O(candidate care bits).
-class Accumulator {
+/// sparse candidate against it is O(candidate care bits). This is the seed
+/// implementation backing compact_greedy_reference — kept verbatim as the
+/// baseline the packed kernel is measured (and byte-compared) against.
+class SparseAccumulator {
  public:
-  Accumulator(int total_terminals, int bus_width)
+  SparseAccumulator(int total_terminals, int bus_width)
       : values_(static_cast<std::size_t>(total_terminals)),
         value_epoch_(static_cast<std::size_t>(total_terminals), 0),
         bus_driver_(static_cast<std::size_t>(bus_width)),
@@ -100,10 +107,112 @@ class Accumulator {
   std::vector<int> touched_bus_;
 };
 
+/// How many candidates ahead the sweep hints the index records into cache.
+/// The alive list's gaps defeat hardware prefetchers, and a record that
+/// misses to L3 costs several times the check itself; ~12 checks of lead
+/// time covers that latency without thrashing the line-fill buffers.
+constexpr std::size_t kSweepPrefetchDistance = 12;
+
 }  // namespace
 
 CompactionResult compact_greedy(std::span<const SiPattern> patterns,
-                                int total_terminals, int bus_width) {
+                                int total_terminals, int bus_width,
+                                const CompactionConfig& config) {
+  if (total_terminals < 0 || bus_width < 0) {
+    throw std::invalid_argument("compact_greedy: negative dimensions");
+  }
+  if (config.threads < 1) {
+    throw std::invalid_argument("compact_greedy: threads must be >= 1");
+  }
+  Stopwatch watch;
+  CompactionResult result;
+  result.stats.original_count = patterns.size();
+
+  const PackedLayout layout{total_terminals, bus_width};
+  const PackedPatternSet set(patterns, layout);
+  const PackedSweepIndex index(set);
+  PackedAccumulator acc(layout);
+
+  // `alive` holds the not-yet-compacted indices in ascending order; each
+  // round seeds on the first one, sweeps the rest, and keeps the leftovers.
+  std::vector<std::uint32_t> alive(patterns.size());
+  std::iota(alive.begin(), alive.end(), std::uint32_t{0});
+  std::vector<std::uint32_t> leftover;
+  leftover.reserve(alive.size());
+
+  std::optional<ThreadPool> pool;
+  if (config.threads > 1 && alive.size() > config.min_parallel_candidates) {
+    pool.emplace(config.threads);
+  }
+  std::vector<std::uint8_t> survivor;   // parallel filter scratch
+  std::vector<std::future<void>> futures;
+
+  while (!alive.empty()) {
+    acc.reset();
+    acc.absorb(set, alive.front());
+    const std::span<const std::uint32_t> candidates =
+        std::span(alive).subspan(1);
+    leftover.clear();
+
+    if (pool && candidates.size() >= config.min_parallel_candidates) {
+      // Deterministic parallel sweep. Workers probe their shard against
+      // the accumulator *snapshot* (only reads — fits() is const); a
+      // candidate that conflicts with the snapshot also conflicts with
+      // every later state of this round's accumulator (it only grows, and
+      // absorbed values never change), so snapshot-rejects are exact. The
+      // survivors are then merged serially in ascending index order with a
+      // re-test against the growing accumulator — precisely the decision
+      // the serial sweep makes — so the output is bit-identical to the
+      // serial sweep for any thread count and any shard geometry.
+      survivor.assign(candidates.size(), 0);
+      const std::size_t shards = static_cast<std::size_t>(pool->size());
+      const std::size_t chunk = (candidates.size() + shards - 1) / shards;
+      futures.clear();
+      for (std::size_t begin = 0; begin < candidates.size(); begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, candidates.size());
+        futures.push_back(pool->submit([&, begin, end] {
+          for (std::size_t k = begin; k < end; ++k) {
+            if (k + kSweepPrefetchDistance < end) {
+              index.prefetch(candidates[k + kSweepPrefetchDistance]);
+            }
+            survivor[k] = acc.fits(index, candidates[k]) ? 1 : 0;
+          }
+        }));
+      }
+      for (auto& future : futures) future.get();
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const std::uint32_t candidate = candidates[k];
+        if (survivor[k] != 0 && acc.fits(index, candidate)) {
+          acc.absorb(set, candidate);
+        } else {
+          leftover.push_back(candidate);
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        if (k + kSweepPrefetchDistance < candidates.size()) {
+          index.prefetch(candidates[k + kSweepPrefetchDistance]);
+        }
+        const std::uint32_t candidate = candidates[k];
+        if (acc.fits(index, candidate)) {
+          acc.absorb(set, candidate);
+        } else {
+          leftover.push_back(candidate);
+        }
+      }
+    }
+    result.patterns.push_back(acc.to_pattern());
+    std::swap(alive, leftover);
+  }
+
+  result.stats.compacted_count = result.patterns.size();
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+CompactionResult compact_greedy_reference(std::span<const SiPattern> patterns,
+                                          int total_terminals,
+                                          int bus_width) {
   if (total_terminals < 0 || bus_width < 0) {
     throw std::invalid_argument("compact_greedy: negative dimensions");
   }
@@ -111,7 +220,7 @@ CompactionResult compact_greedy(std::span<const SiPattern> patterns,
   CompactionResult result;
   result.stats.original_count = patterns.size();
 
-  Accumulator acc(total_terminals, bus_width);
+  SparseAccumulator acc(total_terminals, bus_width);
   std::vector<bool> used(patterns.size(), false);
   std::size_t next_seed = 0;
   // Each cycle seeds a new compacted pattern with the first uncompacted one
@@ -149,49 +258,48 @@ CompactionResult compact_first_fit(std::span<const SiPattern> patterns,
   CompactionResult result;
   result.stats.original_count = patterns.size();
 
-  // Welsh-Powell order: densest (hardest to place) patterns first.
+  const PackedLayout layout{total_terminals, bus_width};
+  const PackedPatternSet set(patterns, layout);
+  const PackedSweepIndex index(set);
+
+  // Welsh-Powell order: densest (hardest to place) patterns first. The
+  // density keys are computed once up front — not inside the comparator,
+  // which would recompute them on every one of the O(n log n) comparisons.
+  std::vector<int> density(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    density[i] = patterns[i].care_count() +
+                 static_cast<int>(patterns[i].bus_bits().size());
+  }
   std::vector<std::size_t> order(patterns.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     const auto density = [&](std::size_t i) {
-                       return patterns[i].care_count() +
-                              static_cast<int>(patterns[i].bus_bits().size());
-                     };
-                     return density(a) > density(b);
+                   [&density](std::size_t a, std::size_t b) {
+                     return density[a] > density[b];
                    });
 
-  // Classes are kept as merged SiPatterns; a candidate joins the first class
-  // it is compatible with (first-fit coloring of the conflict graph).
-  std::vector<SiPattern> classes;
-  for (const std::size_t index : order) {
-    const SiPattern& p = patterns[index];
-    for (const auto& [terminal, value] : p.assignments()) {
-      (void)value;
-      if (terminal >= total_terminals) {
-        throw std::out_of_range(
-            "compact_first_fit: terminal id " + std::to_string(terminal) +
-            " outside declared terminal space");
-      }
-    }
-    for (const BusBit& bit : p.bus_bits()) {
-      if (bit.line >= bus_width) {
-        throw std::out_of_range("compact_first_fit: bus line " +
-                                std::to_string(bit.line) +
-                                " outside declared bus width");
-      }
-    }
+  // Classes are packed accumulators; a candidate joins the first class it
+  // is compatible with (first-fit coloring of the conflict graph).
+  std::vector<PackedAccumulator> classes;
+  for (const std::size_t candidate : order) {
     bool placed = false;
-    for (SiPattern& cls : classes) {
-      if (cls.try_absorb(p)) {
+    for (PackedAccumulator& cls : classes) {
+      // The candidate's sweep record stays hot in L1 across the classes.
+      if (cls.fits(index, candidate)) {
+        cls.absorb(set, candidate);
         placed = true;
         break;
       }
     }
-    if (!placed) classes.push_back(p);
+    if (!placed) {
+      classes.emplace_back(layout);
+      classes.back().absorb(set, candidate);
+    }
   }
 
-  result.patterns = std::move(classes);
+  result.patterns.reserve(classes.size());
+  for (const PackedAccumulator& cls : classes) {
+    result.patterns.push_back(cls.to_pattern());
+  }
   result.stats.compacted_count = result.patterns.size();
   result.stats.seconds = watch.seconds();
   return result;
@@ -199,33 +307,44 @@ CompactionResult compact_first_fit(std::span<const SiPattern> patterns,
 
 std::ptrdiff_t first_uncovered(std::span<const SiPattern> original,
                                std::span<const SiPattern> compacted) {
+  // The public signature carries no dimensions, so infer the smallest
+  // layout covering both sets (lists are sorted: the max id is at the back).
+  PackedLayout layout;
+  const auto widen = [&layout](std::span<const SiPattern> patterns) {
+    for (const SiPattern& p : patterns) {
+      const auto assignments = p.assignments();
+      if (!assignments.empty()) {
+        layout.total_terminals =
+            std::max(layout.total_terminals, assignments.back().first + 1);
+      }
+      const auto bus = p.bus_bits();
+      if (!bus.empty()) {
+        layout.bus_width = std::max(layout.bus_width, bus.back().line + 1);
+      }
+    }
+  };
+  widen(original);
+  widen(compacted);
+
+  const PackedPatternSet packed_original(original, layout);
+  const PackedPatternSet packed_compacted(compacted, layout);
+  // Materialize each compacted pattern as dense planes once; the covering
+  // test is then O(original slots) per pair instead of a per-bit probe.
+  std::vector<PackedAccumulator> dense;
+  dense.reserve(compacted.size());
+  for (std::size_t j = 0; j < compacted.size(); ++j) {
+    dense.emplace_back(layout);
+    dense.back().absorb(packed_compacted, j);
+  }
+
   for (std::size_t i = 0; i < original.size(); ++i) {
-    const SiPattern& p = original[i];
     bool covered = false;
-    for (const SiPattern& c : compacted) {
-      // p is covered by c iff every assignment and bus bit of p appears in
-      // c with the same value/driver.
-      bool all_in = true;
-      for (const auto& [terminal, value] : p.assignments()) {
-        if (c.at(terminal) != value) {
-          all_in = false;
-          break;
-        }
-      }
-      if (all_in) {
-        for (const BusBit& bit : p.bus_bits()) {
-          const auto bus = c.bus_bits();
-          const auto it = std::lower_bound(
-              bus.begin(), bus.end(), bit.line,
-              [](const BusBit& b, int line) { return b.line < line; });
-          if (it == bus.end() || it->line != bit.line ||
-              it->driver_core != bit.driver_core) {
-            all_in = false;
-            break;
-          }
-        }
-      }
-      if (all_in) {
+    const std::uint64_t summary = packed_original.summary(i);
+    for (const PackedAccumulator& c : dense) {
+      // A care word outside the compacted pattern's folded occupancy can
+      // never be contained — reject in one AND.
+      if ((summary & ~c.summary()) != 0) continue;
+      if (c.contains(packed_original, i)) {
         covered = true;
         break;
       }

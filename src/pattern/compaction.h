@@ -1,22 +1,31 @@
 // Vertical SI test compaction: pattern-count reduction (§3).
 //
 // Finding the minimum compacted set is the NP-complete clique covering
-// problem on the pattern-compatibility graph. Two solvers are provided:
+// problem on the pattern-compatibility graph. Two solvers are provided,
+// both running on the packed bit-plane kernel of packed.h (word-parallel
+// compatibility checks, one-AND summary pruning):
 //
 //  * compact_greedy — the paper's heuristic: take the first uncompacted
 //    pattern and merge every following compatible pattern into it, repeat.
-//    Implemented with a dense accumulator so each compatibility check costs
-//    O(care bits) instead of O(accumulated size); compacting 100k patterns
-//    takes seconds.
+//    Candidates are tested against a dense packed accumulator in O(slots)
+//    word ops; with CompactionConfig::threads > 1 the per-round sweep is
+//    sharded across a thread pool and stays bit-identical to the serial
+//    sweep for any thread count (see the merge rule in compaction.cpp).
 //
 //  * compact_first_fit — a classical clique-cover approximation:
 //    Welsh-Powell-style first-fit coloring of the conflict graph. Patterns
-//    are processed in descending density (care bits + bus bits) and each
-//    goes into the first existing compatible class. Note that *unsorted*
-//    first-fit would be pointwise identical to the greedy sweep (class k of
+//    are processed in descending density (care bits + bus bits, keys
+//    precomputed once) and each goes into the first existing compatible
+//    class, held as a packed accumulator. Note that *unsorted* first-fit
+//    would be pointwise identical to the greedy sweep (class k of
 //    first-fit is exactly sweep round k), so the density ordering is what
-//    makes this a distinct reference point. Comparable compaction ratios at
-//    substantially higher runtime — exactly the trade-off §3 reports.
+//    makes this a distinct reference point. Comparable compaction ratios
+//    at higher runtime — exactly the trade-off §3 reports.
+//
+// compact_greedy_reference is the pre-packed sparse sweep, kept verbatim
+// as the before/after baseline for BENCH_compaction.json and as the
+// equivalence oracle in tests — compact_greedy must reproduce its output
+// byte for byte.
 #pragma once
 
 #include <cstddef>
@@ -45,10 +54,29 @@ struct CompactionResult {
   CompactionStats stats;
 };
 
-/// Paper's greedy sweep. `total_terminals` and `bus_width` size the dense
-/// accumulator (use TerminalSpace::total() and the bus width; patterns with
-/// ids outside these ranges throw std::out_of_range).
+/// Knobs for the greedy sweep. The output is bit-identical for every
+/// setting — threads only shard a pure candidate filter.
+struct CompactionConfig {
+  /// Worker threads for the greedy sweep; 1 = serial.
+  int threads = 1;
+  /// Rounds with fewer remaining candidates than this run serially (the
+  /// sharding overhead would dominate). Exposed so tests can force the
+  /// parallel path on small inputs.
+  std::size_t min_parallel_candidates = 2048;
+};
+
+/// Paper's greedy sweep on the packed kernel. `total_terminals` and
+/// `bus_width` size the bit-planes (use TerminalSpace::total() and the bus
+/// width; patterns with ids outside these ranges throw std::out_of_range).
+/// Throws std::invalid_argument for negative dimensions or threads < 1.
 [[nodiscard]] CompactionResult compact_greedy(
+    std::span<const SiPattern> patterns, int total_terminals, int bus_width,
+    const CompactionConfig& config = {});
+
+/// The historical sparse-list sweep (per-care-bit checks against an
+/// epoch-stamped dense accumulator). Frozen as the benchmark baseline and
+/// the byte-identity oracle for compact_greedy; do not optimize.
+[[nodiscard]] CompactionResult compact_greedy_reference(
     std::span<const SiPattern> patterns, int total_terminals, int bus_width);
 
 /// First-fit clique-cover approximation (reference quality bar).
@@ -58,8 +86,9 @@ struct CompactionResult {
 /// Verifies that `compacted` is a sound compaction of `original`: every
 /// original pattern must be *covered by* (i.e. compatible with and contained
 /// in) at least one compacted pattern. Returns the index of the first
-/// uncovered original pattern, or -1 if all are covered. Used by tests and
-/// the compaction study bench.
+/// uncovered original pattern, or -1 if all are covered. Runs on packed
+/// subset checks with summary pruning. Used by tests and the compaction
+/// study bench.
 [[nodiscard]] std::ptrdiff_t first_uncovered(
     std::span<const SiPattern> original,
     std::span<const SiPattern> compacted);

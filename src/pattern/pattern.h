@@ -6,6 +6,11 @@
 // bus lines; each occupied line remembers the core boundary that triggers
 // it, because patterns driving the *same* bus line from *different* core
 // boundaries must never be compacted together (§3).
+//
+// The sparse form is the mutation-friendly builder representation; the
+// compaction kernels batch-convert pattern sets into the word-parallel
+// bit-plane form of packed.h, which answers compatible() in a few 64-bit
+// ops instead of a sorted-list walk.
 #pragma once
 
 #include <cstdint>

@@ -70,7 +70,8 @@ SiTestSet build_si_test_set(std::span<const SiPattern> patterns,
   set.parts = parts;
 
   const auto compact = [&](std::span<const SiPattern> bucket) {
-    return compact_greedy(bucket, terminals.total(), config.bus_width);
+    return compact_greedy(bucket, terminals.total(), config.bus_width,
+                          config.compaction);
   };
   const auto any_bus = [](std::span<const SiPattern> bucket) {
     for (const SiPattern& p : bucket) {

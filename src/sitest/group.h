@@ -50,6 +50,10 @@ struct SiTestSet {
 struct GroupingConfig {
   PartitionConfig partition;  ///< Partitioner knobs (seeded, deterministic).
   int bus_width = 32;         ///< Bus postfix width (accumulator sizing).
+  /// Vertical-compaction knobs, forwarded to compact_greedy for every
+  /// bucket. The deterministic parallel sweep keeps the output identical
+  /// for any thread count, so this only changes wall-clock time.
+  CompactionConfig compaction;
 };
 
 /// Builds the core-level hypergraph of §3/Fig. 2 from a raw pattern set.

@@ -104,6 +104,12 @@ TEST(CompactGreedy, NegativeDimensionsThrow) {
   EXPECT_THROW((void)compact_first_fit({}, 4, -1), std::invalid_argument);
 }
 
+TEST(CompactGreedy, InvalidThreadCountThrows) {
+  CompactionConfig config;
+  config.threads = 0;
+  EXPECT_THROW((void)compact_greedy({}, 4, 4, config), std::invalid_argument);
+}
+
 TEST(FirstUncovered, DetectsMissingPattern) {
   const std::vector<SiPattern> original = {
       make({{0, SigValue::kRise}}),
@@ -119,6 +125,34 @@ TEST(FirstUncovered, DetectsBusMismatch) {
   const std::vector<SiPattern> wrong_driver = {
       make({{0, SigValue::kRise}}, {{1, 2}})};
   EXPECT_EQ(first_uncovered(original, wrong_driver), 0);
+}
+
+TEST(FirstUncovered, DirectVerdicts) {
+  const std::vector<SiPattern> compacted = {
+      make({{0, SigValue::kRise}, {1, SigValue::kStable0}}, {{2, 7}})};
+  // Covered: exact copy, signal subset, bus subset.
+  EXPECT_EQ(first_uncovered(compacted, compacted), -1);
+  const std::vector<SiPattern> subsets = {
+      make({{0, SigValue::kRise}}),
+      make({{1, SigValue::kStable0}}, {{2, 7}}),
+      make({}, {{2, 7}}),
+  };
+  EXPECT_EQ(first_uncovered(subsets, compacted), -1);
+  // Uncovered, one reason each: flipped value, transition vs stable,
+  // care bit outside the compacted pattern, unoccupied bus line, occupied
+  // bus line with the wrong driver core.
+  const std::vector<SiPattern> uncovered = {
+      make({{0, SigValue::kFall}}),
+      make({{1, SigValue::kRise}}),
+      make({{2, SigValue::kStable0}}),
+      make({}, {{3, 7}}),
+      make({}, {{2, 6}}),
+  };
+  for (std::size_t i = 0; i < uncovered.size(); ++i) {
+    EXPECT_EQ(first_uncovered({&uncovered[i], 1}, compacted), 0)
+        << "case " << i;
+  }
+  EXPECT_EQ(first_uncovered(uncovered, compacted), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -174,6 +208,22 @@ TEST_P(CompactionPropertyTest, FirstFitIsSoundAndNoWorseThanTwiceGreedy) {
   // clique-covering approximation. "Similar" = within 2x either way here.
   EXPECT_LE(first_fit.patterns.size(), 2 * greedy.patterns.size());
   EXPECT_LE(greedy.patterns.size(), 2 * first_fit.patterns.size());
+}
+
+TEST_P(CompactionPropertyTest, PackedSweepMatchesReferenceByteForByte) {
+  // The packed kernel is an acceleration of the seed sweep, not a
+  // re-derivation: its output must be *equal*, pattern for pattern.
+  const CompactionCase param = GetParam();
+  const Soc soc = load_benchmark(param.soc);
+  const TerminalSpace ts(soc);
+  Rng rng(param.seed);
+  const RandomPatternConfig config;
+  const auto patterns =
+      generate_random_patterns(ts, param.count, config, rng);
+  const auto packed = compact_greedy(patterns, ts.total(), config.bus_width);
+  const auto reference =
+      compact_greedy_reference(patterns, ts.total(), config.bus_width);
+  EXPECT_EQ(packed.patterns, reference.patterns);
 }
 
 TEST_P(CompactionPropertyTest, GreedyIsDeterministic) {

@@ -10,7 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "interconnect/terminal_space.h"
+#include "pattern/compaction.h"
+#include "pattern/generator.h"
 #include "sitest/group.h"
+#include "soc/benchmarks.h"
 #include "soc/synth.h"
 #include "tam/annealing.h"
 #include "tam/optimizer.h"
@@ -143,6 +147,32 @@ TEST(ParallelDeterminism, MemoCacheIsTransparent) {
         << "seed=" << seed;
     EXPECT_GT(with.stats.cache_hits, 0) << "seed=" << seed;
     EXPECT_EQ(without.stats.cache_hits, 0) << "seed=" << seed;
+  }
+}
+
+TEST(ParallelDeterminism, CompactGreedySweepMatchesAcrossThreadCounts) {
+  // The parallel sweep filters candidates against an accumulator snapshot
+  // and merges survivors serially in index order; that construction is
+  // bit-identical to the serial sweep for any thread count and shard
+  // geometry. A tiny min_parallel_candidates forces the parallel path even
+  // on this modest workload, and the serial result doubles as the oracle.
+  const Soc soc = load_benchmark("d695");
+  const TerminalSpace ts(soc);
+  Rng rng(0x51717ULL);
+  const RandomPatternConfig pattern_config;
+  const auto patterns =
+      generate_random_patterns(ts, 3000, pattern_config, rng);
+
+  const CompactionResult serial =
+      compact_greedy(patterns, ts.total(), pattern_config.bus_width);
+  EXPECT_EQ(first_uncovered(patterns, serial.patterns), -1);
+  for (const int threads : kThreadCounts) {
+    CompactionConfig config;
+    config.threads = threads;
+    config.min_parallel_candidates = 8;
+    const CompactionResult parallel = compact_greedy(
+        patterns, ts.total(), pattern_config.bus_width, config);
+    EXPECT_EQ(parallel.patterns, serial.patterns) << "threads=" << threads;
   }
 }
 
