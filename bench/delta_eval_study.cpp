@@ -1,0 +1,182 @@
+// Incremental (delta) schedule evaluation study on the p93791 optimization
+// workload: the full §5 sweep runs twice — once with the DeltaEvaluator in
+// front of the memo cache and once with the plain memoized evaluator — and
+// the study checks that
+//   (a) every optimization result is identical (the delta path is purely a
+//       throughput switch; any divergence exits nonzero), and
+//   (b) the delta path performs at least kMinFullRunRatio times fewer full
+//       ScheduleSITest runs than the baseline.
+// The full run writes BENCH_delta.json; `--smoke` runs a reduced workload
+// with the same identity + ratio gates (no JSON artifact) so the check can
+// live in the tier-1 ctest suite.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/flow.h"
+#include "core/report.h"
+#include "soc/benchmarks.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace sitam;
+
+namespace {
+
+/// The acceptance gate: the delta path must cut full ScheduleSITest runs by
+/// at least this factor on the move-heavy optimizer workload.
+constexpr double kMinFullRunRatio = 3.0;
+
+struct ModeOutcome {
+  double seconds = 0.0;
+  EvaluatorStats stats;
+  SweepResult sweep;
+};
+
+ModeOutcome run_mode(const SiWorkload& workload,
+                     const std::vector<int>& widths, bool delta_eval) {
+  OptimizerConfig config;
+  config.delta_eval = delta_eval;
+  ModeOutcome outcome;
+  Stopwatch watch;
+  outcome.sweep = run_sweep(workload, widths, config);
+  outcome.seconds = watch.seconds();
+  for (const ExperimentOutcome& row : outcome.sweep.rows) {
+    for (const OptimizeResult& result : row.per_grouping) {
+      outcome.stats += result.stats;
+    }
+  }
+  return outcome;
+}
+
+/// Field-by-field comparison of the two sweeps' optimization results.
+bool sweeps_identical(const SweepResult& a, const SweepResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    const ExperimentOutcome& x = a.rows[r];
+    const ExperimentOutcome& y = b.rows[r];
+    if (x.t_baseline != y.t_baseline || x.t_min != y.t_min ||
+        x.best_grouping != y.best_grouping ||
+        x.per_grouping.size() != y.per_grouping.size()) {
+      return false;
+    }
+    for (std::size_t g = 0; g < x.per_grouping.size(); ++g) {
+      if (x.per_grouping[g].evaluation.t_soc !=
+          y.per_grouping[g].evaluation.t_soc) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void write_report(const std::string& path, std::int64_t n_r,
+                  const std::vector<int>& widths, const ModeOutcome& delta,
+                  const ModeOutcome& baseline, double ratio,
+                  bool identical) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark")
+      .value("incremental delta evaluation vs memoized full evaluation");
+  json.key("soc").value("p93791");
+  json.key("n_r").value(n_r);
+  json.key("widths").begin_array();
+  for (const int w : widths) json.value(std::int64_t{w});
+  json.end_array();
+  json.key("baseline").begin_object();
+  json.key("seconds").value(baseline.seconds);
+  json.key("evaluations").value(baseline.stats.evaluations);
+  json.key("memo_hits").value(baseline.stats.cache_hits);
+  json.key("full_schedule_runs").value(baseline.stats.full_evaluations());
+  json.end_object();
+  json.key("delta").begin_object();
+  json.key("seconds").value(delta.seconds);
+  json.key("evaluations").value(delta.stats.evaluations);
+  json.key("memo_hits").value(delta.stats.cache_hits);
+  json.key("delta_hits").value(delta.stats.delta_hits);
+  json.key("delta_hit_rate").value(delta.stats.delta_hit_rate());
+  json.key("full_schedule_runs").value(delta.stats.full_evaluations());
+  json.end_object();
+  json.key("full_run_ratio").value(ratio);
+  json.key("speedup").value(delta.seconds > 0.0
+                                ? baseline.seconds / delta.seconds
+                                : 0.0);
+  json.key("results_identical").value(identical);
+  json.end_object();
+
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const std::int64_t n_r = smoke ? 500 : 10000;
+  const std::vector<int> widths =
+      smoke ? std::vector<int>{16} : std::vector<int>{16, 32, 48, 64};
+
+  const Soc soc = load_benchmark("p93791");
+  SiWorkloadConfig workload_config;
+  workload_config.pattern_count = n_r;
+  if (smoke) workload_config.groupings = {1, 2};
+  const SiWorkload workload = SiWorkload::prepare(soc, workload_config);
+
+  std::cout << "== p93791 TAM optimization: delta evaluation on vs off ==\n";
+  const ModeOutcome baseline = run_mode(workload, widths, false);
+  const ModeOutcome delta = run_mode(workload, widths, true);
+
+  TextTable table;
+  table.add_column("mode", Align::kLeft);
+  table.add_column("seconds");
+  table.add_column("evaluations");
+  table.add_column("memo hits");
+  table.add_column("delta hits");
+  table.add_column("full runs");
+  const auto add_row = [&](const std::string& mode, const ModeOutcome& m) {
+    table.begin_row();
+    table.cell(mode);
+    table.cell(m.seconds, 3);
+    table.cell(m.stats.evaluations);
+    table.cell(m.stats.cache_hits);
+    table.cell(m.stats.delta_hits);
+    table.cell(m.stats.full_evaluations());
+  };
+  add_row("baseline (memo only)", baseline);
+  add_row("delta + memo", delta);
+  std::cout << table;
+
+  const double ratio =
+      delta.stats.full_evaluations() > 0
+          ? static_cast<double>(baseline.stats.full_evaluations()) /
+                static_cast<double>(delta.stats.full_evaluations())
+          : 0.0;
+  const bool identical = sweeps_identical(baseline.sweep, delta.sweep);
+  std::cout << "baseline: " << render_evaluator_stats(baseline.stats)
+            << "\ndelta:    " << render_evaluator_stats(delta.stats)
+            << "\nfull-ScheduleSITest-run ratio: " << ratio
+            << "x (gate: >= " << kMinFullRunRatio << "x)\n";
+
+  if (!smoke) {
+    write_report("BENCH_delta.json", n_r, widths, delta, baseline, ratio,
+                 identical);
+  }
+
+  if (!identical) {
+    std::cerr << "FAIL: delta evaluation changed an optimization result\n";
+    return 1;
+  }
+  if (ratio < kMinFullRunRatio) {
+    std::cerr << "FAIL: delta path only cut full ScheduleSITest runs by "
+              << ratio << "x (need " << kMinFullRunRatio << "x)\n";
+    return 1;
+  }
+  return 0;
+}

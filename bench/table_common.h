@@ -14,6 +14,7 @@
 //   --restarts=N        Algorithm 2 restarts per optimization
 //   --threads=T         restart-loop worker threads (0 = all cores)
 //   --no-cache-evals    disable the evaluator memo cache
+//   --no-delta          disable the incremental delta evaluator
 #pragma once
 
 #include <cstdint>
@@ -50,6 +51,7 @@ inline int run_table_bench(const std::string& soc_name, int argc,
   optimizer.threads =
       static_cast<int>(args.get_or("threads", std::int64_t{1}));
   optimizer.evaluator.memoize = !args.has("no-cache-evals");
+  optimizer.delta_eval = !args.has("no-delta");
 
   const Soc soc = load_benchmark(soc_name);
   std::cout << "=== " << soc_name
@@ -93,9 +95,7 @@ inline int run_table_bench(const std::string& soc_name, int argc,
     std::cout << sweep_caption(sweep) << "\n"
               << render_paper_table(sweep)
               << "(TAM optimization for all rows: " << sweep_watch.seconds()
-              << " s; " << evals.evaluations << " architecture evaluations, "
-              << evals.cache_hits << " memo hits = "
-              << 100.0 * evals.hit_rate() << " % hit rate)\n\n";
+              << " s; " << render_evaluator_stats(evals) << ")\n\n";
     if (args.has("csv")) {
       std::cout << render_paper_table(sweep).csv() << "\n";
     }

@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <iomanip>
 #include <sstream>
 
 namespace sitam {
@@ -63,6 +64,16 @@ std::string describe_evaluation(const TamArchitecture& arch,
     os << "}, bottleneck TAM" << item.bottleneck_rail + 1 << "\n";
   }
   os << "T_si makespan = " << evaluation.schedule.makespan << " cc\n";
+  return os.str();
+}
+
+std::string render_evaluator_stats(const EvaluatorStats& stats) {
+  std::ostringstream os;
+  os << stats.evaluations << " evaluations: " << stats.cache_hits
+     << " memo hits + " << stats.delta_hits << " delta hits + "
+     << stats.full_evaluations() << " full ScheduleSITest runs ("
+     << std::fixed << std::setprecision(1) << 100.0 * stats.hit_rate()
+     << " % avoided)";
   return os.str();
 }
 

@@ -42,9 +42,15 @@ std::vector<std::string_view> split_ws(std::string_view text) {
   return tokens;
 }
 
+// Key=value field scans start at `begin` so that positional tokens — the
+// line keyword and the group label — can never shadow a field. A label is
+// free-form (it may itself look like "patterns=7"), so group lines scan
+// from token 2.
 std::int64_t header_value(const std::vector<std::string_view>& tokens,
-                          std::string_view key, int line) {
-  for (const std::string_view token : tokens) {
+                          std::size_t begin, std::string_view key,
+                          int line) {
+  for (std::size_t i = begin; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
     const auto eq = token.find('=');
     if (eq != std::string_view::npos && token.substr(0, eq) == key) {
       return parse_int(token.substr(eq + 1), line);
@@ -54,9 +60,10 @@ std::int64_t header_value(const std::vector<std::string_view>& tokens,
 }
 
 std::int64_t optional_header_value(
-    const std::vector<std::string_view>& tokens, std::string_view key,
-    std::int64_t fallback, int line) {
-  for (const std::string_view token : tokens) {
+    const std::vector<std::string_view>& tokens, std::size_t begin,
+    std::string_view key, std::int64_t fallback, int line) {
+  for (std::size_t i = begin; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
     const auto eq = token.find('=');
     if (eq != std::string_view::npos && token.substr(0, eq) == key) {
       return parse_int(token.substr(eq + 1), line);
@@ -72,6 +79,15 @@ std::string test_set_to_text(const SiTestSet& set) {
   os << "SiTestSet parts=" << set.parts << " groups=" << set.groups.size()
      << "\n";
   for (const SiTestGroup& g : set.groups) {
+    // The format is line- and whitespace-delimited, so a label that is
+    // empty or contains whitespace cannot survive a round trip — reject it
+    // here instead of writing a file test_set_from_text mis-parses.
+    if (g.label.empty() ||
+        g.label.find_first_of(" \t\r\n") != std::string::npos) {
+      throw std::invalid_argument(
+          "test_set_to_text: group label '" + g.label +
+          "' is empty or contains whitespace and cannot be serialized");
+    }
     os << "group " << g.label << " remainder=" << (g.is_remainder ? 1 : 0)
        << " patterns=" << g.patterns << " raw=" << g.raw_patterns
        << " power=" << g.power << " bus=" << (g.uses_bus ? 1 : 0)
@@ -105,9 +121,10 @@ SiTestSet test_set_from_text(std::string_view text) {
 
     if (!saw_header) {
       if (tokens[0] != "SiTestSet") fail(line_no, "missing SiTestSet header");
-      set.parts = static_cast<int>(header_value(tokens, "parts", line_no));
-      expected =
-          static_cast<std::size_t>(header_value(tokens, "groups", line_no));
+      set.parts =
+          static_cast<int>(header_value(tokens, 1, "parts", line_no));
+      expected = static_cast<std::size_t>(
+          header_value(tokens, 1, "groups", line_no));
       saw_header = true;
       continue;
     }
@@ -117,16 +134,19 @@ SiTestSet test_set_from_text(std::string_view text) {
     }
     SiTestGroup group;
     group.label = std::string(tokens[1]);
+    // Fields start after the label (token 1): a free-form label like
+    // "patterns=7" must not shadow the real fields.
     group.is_remainder =
-        header_value(tokens, "remainder", line_no) != 0;
-    group.patterns = header_value(tokens, "patterns", line_no);
-    group.raw_patterns = header_value(tokens, "raw", line_no);
-    group.power = header_value(tokens, "power", line_no);
+        header_value(tokens, 2, "remainder", line_no) != 0;
+    group.patterns = header_value(tokens, 2, "patterns", line_no);
+    group.raw_patterns = header_value(tokens, 2, "raw", line_no);
+    group.power = header_value(tokens, 2, "power", line_no);
     group.uses_bus =
-        optional_header_value(tokens, "bus", 0, line_no) != 0;
+        optional_header_value(tokens, 2, "bus", 0, line_no) != 0;
     // cores=...
     bool saw_cores = false;
-    for (const std::string_view token : tokens) {
+    for (std::size_t t = 2; t < tokens.size(); ++t) {
+      const std::string_view token = tokens[t];
       if (token.rfind("cores=", 0) != 0) continue;
       saw_cores = true;
       std::string_view list = token.substr(6);

@@ -4,6 +4,12 @@
 //
 //   SiTestSet parts=<i> groups=<K>
 //   group <label> remainder=<0|1> patterns=<p> raw=<r> power=<w> cores=<c,c,...>
+//
+// The label is a single free-form token: it may not be empty or contain
+// whitespace (the writer rejects such sets), but it may otherwise look like
+// anything — including a key=value field such as "patterns=7", which the
+// parser must not confuse with the real fields (they are scanned strictly
+// after the label). The optional bus=<0|1> field defaults to 0 when absent.
 #pragma once
 
 #include <string>
@@ -13,7 +19,8 @@
 
 namespace sitam {
 
-/// Serializes a compacted SI test set.
+/// Serializes a compacted SI test set. Throws std::invalid_argument when a
+/// group label is empty or contains whitespace (it could not round-trip).
 [[nodiscard]] std::string test_set_to_text(const SiTestSet& set);
 
 /// Parses a test set; throws std::runtime_error with a line number on

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "tam/delta.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -113,10 +114,16 @@ OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
                          const AnnealingConfig& config,
                          const TamArchitecture& start, std::uint64_t seed) {
   const TamEvaluator evaluator(soc, table, tests, config.evaluator);
+  DeltaEvaluator incremental(evaluator);
+  const auto score = [&](const TamArchitecture& arch) {
+    // Annealing moves dirty at most two rails, so nearly every scoring call
+    // is a delta hit; the memoized evaluator is the L2 behind it.
+    return config.delta_eval ? incremental.t_soc(arch) : evaluator.t_soc(arch);
+  };
   Rng rng(seed);
 
   TamArchitecture current = start;
-  std::int64_t current_t = evaluator.t_soc(current);
+  std::int64_t current_t = score(current);
 
   TamArchitecture best = current;
   std::int64_t best_t = current_t;
@@ -134,7 +141,7 @@ OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
   for (int i = 0; i < iterations; ++i, temperature *= alpha) {
     candidate = current;
     if (!mutate(candidate, rng)) continue;
-    const std::int64_t candidate_t = evaluator.t_soc(candidate);
+    const std::int64_t candidate_t = score(candidate);
     const std::int64_t delta = candidate_t - current_t;
     if (delta <= 0 ||
         rng.unit() < std::exp(-static_cast<double>(delta) / temperature)) {
@@ -150,9 +157,11 @@ OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
   SITAM_CHECK(best.total_width() == w_max);
   best.validate(soc.core_count());
   OptimizeResult result;
-  result.evaluation = evaluator.evaluate(best);
+  result.evaluation = config.delta_eval ? incremental.evaluate(best)
+                                        : evaluator.evaluate(best);
   result.architecture = std::move(best);
-  result.stats = evaluator.stats();
+  result.stats =
+      config.delta_eval ? incremental.stats() : evaluator.stats();
   return result;
 }
 

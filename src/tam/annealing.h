@@ -21,6 +21,10 @@ namespace sitam {
 
 struct AnnealingConfig {
   EvaluatorOptions evaluator;
+  /// Score mutations through the incremental DeltaEvaluator — annealing
+  /// moves touch at most two rails, the ideal delta workload. Bit-identical
+  /// results either way; see OptimizerConfig::delta_eval.
+  bool delta_eval = true;
   int iterations = 30000;
   /// Initial temperature as a fraction of the start solution's T_soc.
   double initial_temperature_fraction = 0.02;

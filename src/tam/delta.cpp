@@ -1,0 +1,359 @@
+#include "tam/delta.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tam/schedule.h"
+#include "tam/verify.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sitam {
+
+namespace {
+
+// Dual 64-bit content hash of one rail (width + core sequence). Same mix
+// pattern as the evaluator's architecture hash, under a rail-local seed;
+// both halves must match for two rails to be treated as identical, so a
+// false reuse needs a simultaneous 128-bit collision.
+struct RailHash {
+  std::uint64_t key;
+  std::uint64_t check;
+};
+
+RailHash rail_content_hash(const TestRail& rail) {
+  std::uint64_t h0 = 0x5ca1ab1eULL;
+  std::uint64_t h1 = 0x5ca1ab1eULL ^ 0x94d049bb133111ebULL;
+  const auto mix = [&h0, &h1](std::uint64_t value) {
+    h0 ^= value + 0x9e3779b97f4a7c15ULL + (h0 << 6) + (h0 >> 2);
+    h0 = split_mix64(h0);
+    h1 ^= value + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2);
+    h1 = split_mix64(h1);
+  };
+  mix(static_cast<std::uint64_t>(rail.width));
+  mix(rail.cores.size());
+  for (const int core : rail.cores) {
+    mix(static_cast<std::uint64_t>(core));
+  }
+  return RailHash{h0, h1};
+}
+
+}  // namespace
+
+DeltaEvaluator::DeltaEvaluator(const TamEvaluator& full,
+                               const DeltaOptions& options)
+    : full_(&full), options_(options) {
+  SITAM_CHECK_MSG(options_.max_dirty_rails >= 0,
+                  "DeltaEvaluator: max_dirty_rails must be non-negative");
+}
+
+const Evaluation& DeltaEvaluator::evaluate(const TamArchitecture& arch) {
+  if (!try_delta(arch)) rebase(arch);
+  SITAM_DCHECK_MSG(has_base_, "evaluate left no cached state behind");
+  return base_eval_;
+}
+
+std::int64_t DeltaEvaluator::t_soc(const TamArchitecture& arch) {
+  return evaluate(arch).t_soc;
+}
+
+void DeltaEvaluator::invalidate() { has_base_ = false; }
+
+EvaluatorStats DeltaEvaluator::stats() const {
+  EvaluatorStats combined = full_->stats();
+  combined += local_;
+  return combined;
+}
+
+bool DeltaEvaluator::try_delta(const TamArchitecture& arch) {
+  if (!has_base_) {
+    ++breakdown_.no_base;
+    return false;
+  }
+  const std::size_t rail_count = arch.rails.size();
+  const std::size_t base_count = rail_states_.size();
+
+  // Step 1: match the new rails against the cached ones by content hash,
+  // lowest cached index first (deterministic for any duplicate-rail
+  // layout). Unmatched new rails are "dirty".
+  match_.assign(rail_count, -1);
+  old2new_.assign(base_count, -1);
+  base_used_.assign(base_count, 0);
+  hash_scratch_.resize(rail_count);
+  int dirty_rails = 0;
+  for (std::size_t r = 0; r < rail_count; ++r) {
+    const RailHash hash = rail_content_hash(arch.rails[r]);
+    hash_scratch_[r] = {hash.key, hash.check};
+    int found = -1;
+    // rail_lookup_ is sorted by (key, rail), so the candidate chain for a
+    // key comes out in ascending cached-rail order.
+    for (auto it = std::lower_bound(
+             rail_lookup_.begin(), rail_lookup_.end(),
+             std::pair<std::uint64_t, int>{hash.key, -1});
+         it != rail_lookup_.end() && it->first == hash.key; ++it) {
+      const int b = it->second;
+      if (base_used_[static_cast<std::size_t>(b)] == 0 &&
+          rail_states_[static_cast<std::size_t>(b)].check == hash.check) {
+        found = b;
+        break;
+      }
+    }
+    if (found >= 0) {
+      match_[r] = found;
+      old2new_[static_cast<std::size_t>(found)] = static_cast<int>(r);
+      base_used_[static_cast<std::size_t>(found)] = 1;
+    } else {
+      ++dirty_rails;
+    }
+  }
+  if (dirty_rails > options_.max_dirty_rails) {
+    ++breakdown_.dirty_fallbacks;
+    return false;
+  }
+
+  // Identity shortcut: every rail matched its own cached position, so the
+  // architecture is unchanged and base_eval_ already describes it. Scoring
+  // loops re-query the incumbent constantly; answering those without
+  // re-assembling and re-scheduling is what keeps a delta hit cheaper than
+  // the scalar memo it replaces.
+  if (dirty_rails == 0 && base_count == rail_count) {
+    bool identity = true;
+    for (std::size_t r = 0; r < rail_count; ++r) {
+      if (match_[r] != static_cast<int>(r)) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) {
+      ++local_.evaluations;
+      ++local_.delta_hits;
+      ++breakdown_.delta_hits;
+      return true;
+    }
+  }
+
+  // Step 2: a core is dirty iff it sits on a dirty rail. Both
+  // architectures partition the same core set and matched rails carry
+  // identical core sequences, so the dirty cores are exactly the cores of
+  // the retired cached rails as well.
+  const int core_count = full_->soc().core_count();
+  dirty_core_.assign(static_cast<std::size_t>(core_count), 0);
+  for (std::size_t r = 0; r < rail_count; ++r) {
+    if (match_[r] >= 0) continue;
+    for (const int core : arch.rails[r].cores) {
+      dirty_core_[static_cast<std::size_t>(core)] = 1;
+    }
+  }
+
+  // Step 3: assemble the rail records and InTest slots — matched rails
+  // verbatim (rail index rewritten), dirty rails from the wrapper table.
+  // Built in eval_scratch_ (swapped with base_eval_ on success) so the
+  // retired evaluation's vector capacity is recycled.
+  Evaluation& ev = eval_scratch_;
+  ev.t_in = ev.t_si = ev.t_soc = 0;
+  ev.intest.clear();
+  ev.schedule.items.clear();
+  ev.schedule.makespan = 0;
+  ev.rails.assign(rail_count, RailTimes{});
+  const TestTimeTable& table = full_->table();
+  rail_of_core_.assign(static_cast<std::size_t>(core_count), -1);
+  for (std::size_t r = 0; r < rail_count; ++r) {
+    for (const int core : arch.rails[r].cores) {
+      rail_of_core_[static_cast<std::size_t>(core)] = static_cast<int>(r);
+    }
+    if (match_[r] >= 0) {
+      const RailState& state =
+          rail_states_[static_cast<std::size_t>(match_[r])];
+      ev.rails[r].time_in = state.time_in;
+      for (InTestSlot slot : state.slots) {
+        slot.rail = static_cast<int>(r);
+        ev.intest.push_back(slot);
+      }
+    } else {
+      std::int64_t sum = 0;
+      for (const int core : arch.rails[r].cores) {
+        const std::int64_t t = table.intest(core, arch.rails[r].width);
+        InTestSlot slot;
+        slot.core = core;
+        slot.rail = static_cast<int>(r);
+        slot.begin = sum;
+        slot.end = sum + t;
+        ev.intest.push_back(slot);
+        sum += t;
+      }
+      ev.rails[r].time_in = sum;
+    }
+    ev.t_in = std::max(ev.t_in, ev.rails[r].time_in);
+  }
+
+  // Step 4: patch the group timings — clean groups keep their cached
+  // timing with rail indices remapped, dirty groups rerun
+  // CalculateSITestTime.
+  const SiTestSet& tests = full_->tests();
+  pending_.clear();
+  for (std::size_t g = 0; g < tests.groups.size(); ++g) {
+    const SiTestGroup& group = tests.groups[g];
+    if (group.patterns <= 0) continue;
+    const bool dirty = std::any_of(
+        group.cores.begin(), group.cores.end(), [&](int core) {
+          return dirty_core_[static_cast<std::size_t>(core)] != 0;
+        });
+    if (dirty) {
+      pending_.push_back(
+          full_->si_group_timing(arch, static_cast<int>(g), rail_of_core_));
+      continue;
+    }
+    const SiGroupTiming& cached = base_groups_[g];
+    SITAM_DCHECK_MSG(cached.group == static_cast<int>(g),
+                     "cached timing missing for clean group " << g);
+    SiGroupTiming item;
+    item.group = static_cast<int>(g);
+    item.duration = cached.duration;
+    remap_scratch_.clear();
+    for (std::size_t k = 0; k < cached.rails.size(); ++k) {
+      const int remapped =
+          old2new_[static_cast<std::size_t>(cached.rails[k])];
+      SITAM_DCHECK_MSG(remapped >= 0,
+                       "clean group " << g << " on a retired rail");
+      remap_scratch_.emplace_back(remapped, cached.rail_busy[k]);
+    }
+    // Restore the ascending rail order; the bottleneck is the lowest-index
+    // rail attaining the maximum busy time, exactly as in si_group_timing.
+    std::sort(remap_scratch_.begin(), remap_scratch_.end());
+    item.rails.reserve(remap_scratch_.size());
+    item.rail_busy.reserve(remap_scratch_.size());
+    std::int64_t best = 0;
+    for (const auto& [rail, busy] : remap_scratch_) {
+      item.rails.push_back(rail);
+      item.rail_busy.push_back(busy);
+      if (busy > best) {
+        best = busy;
+        item.bottleneck = rail;
+      }
+    }
+    SITAM_DCHECK_MSG(best == cached.duration,
+                     "remapped group " << g << " changed duration");
+    pending_.push_back(std::move(item));
+  }
+  for (const SiGroupTiming& item : pending_) {
+    for (std::size_t k = 0; k < item.rails.size(); ++k) {
+      ev.rails[static_cast<std::size_t>(item.rails[k])].time_si +=
+          item.rail_busy[k];
+    }
+  }
+
+  // Step 5: the move must not have invalidated the cached pick order —
+  // that is the fallback condition, the schedule structure may have
+  // changed wholesale.
+  order_scratch_ = pending_;
+  detail::sort_pending(order_scratch_, full_->options().pick);
+  bool same_order = order_scratch_.size() == base_order_.size();
+  for (std::size_t i = 0; same_order && i < order_scratch_.size(); ++i) {
+    same_order = order_scratch_[i].group == base_order_[i];
+  }
+  if (!same_order) {
+    ++breakdown_.order_fallbacks;
+    return false;
+  }
+
+  // Step 6: replay the shared Algorithm-1 placement loop over the patched
+  // timings — bit-identical to the full evaluator by construction.
+  ev.schedule =
+      detail::schedule_pending(order_scratch_, tests, full_->options(),
+                               ev.rails);
+  if (full_->options().interleave_phases) {
+    ev.t_soc = std::max(ev.t_in, ev.schedule.makespan);
+    ev.t_si = ev.t_soc - ev.t_in;
+  } else {
+    ev.t_si = ev.schedule.makespan;
+    ev.t_soc = ev.t_in + ev.t_si;
+  }
+  for (RailTimes& rail : ev.rails) {
+    rail.time_used = rail.time_in + rail.time_si;
+  }
+
+#if SITAM_DCHECKS_ENABLED
+  {
+    const std::vector<std::string> problems =
+        verify_delta_consistency(ev, full_->evaluate_reference(arch));
+    SITAM_DCHECK_MSG(problems.empty(),
+                     "delta/full divergence: "
+                         << (problems.empty() ? "" : problems.front()));
+  }
+#endif
+
+  std::swap(base_eval_, eval_scratch_);
+  commit(arch, /*from_delta=*/true);
+  ++local_.evaluations;
+  ++local_.delta_hits;
+  ++breakdown_.delta_hits;
+  return true;
+}
+
+void DeltaEvaluator::rebase(const TamArchitecture& arch) {
+  ++breakdown_.rebases;
+  // Full path through the wrapped evaluator — its memo cache is the L2
+  // behind the delta path, so a revisited architecture is still answered
+  // without a ScheduleSITest run.
+  base_eval_ = full_->evaluate(arch);
+  SITAM_DCHECK_MSG(base_eval_.rails.size() == arch.rails.size(),
+                   "full evaluation does not describe the architecture");
+  const int core_count = full_->soc().core_count();
+  rail_of_core_.assign(static_cast<std::size_t>(core_count), -1);
+  for (std::size_t r = 0; r < arch.rails.size(); ++r) {
+    for (const int core : arch.rails[r].cores) {
+      rail_of_core_[static_cast<std::size_t>(core)] = static_cast<int>(r);
+    }
+  }
+  const SiTestSet& tests = full_->tests();
+  pending_.clear();
+  for (std::size_t g = 0; g < tests.groups.size(); ++g) {
+    if (tests.groups[g].patterns <= 0) continue;
+    pending_.push_back(
+        full_->si_group_timing(arch, static_cast<int>(g), rail_of_core_));
+  }
+  commit(arch, /*from_delta=*/false);
+}
+
+void DeltaEvaluator::commit(const TamArchitecture& arch, bool from_delta) {
+  const std::size_t rail_count = arch.rails.size();
+  SITAM_CHECK_MSG(base_eval_.rails.size() == rail_count,
+                  "commit: evaluation does not describe the architecture");
+  rail_states_.resize(rail_count);
+  rail_lookup_.clear();
+  for (std::size_t r = 0; r < rail_count; ++r) {
+    // Off the patch path the matching pass already hashed every new rail.
+    const RailHash hash =
+        from_delta ? RailHash{hash_scratch_[r].first, hash_scratch_[r].second}
+                   : rail_content_hash(arch.rails[r]);
+    rail_states_[r].key = hash.key;
+    rail_states_[r].check = hash.check;
+    rail_states_[r].time_in = base_eval_.rails[r].time_in;
+    rail_states_[r].slots.clear();
+    rail_lookup_.emplace_back(hash.key, static_cast<int>(r));
+  }
+  std::sort(rail_lookup_.begin(), rail_lookup_.end());
+  for (const InTestSlot& slot : base_eval_.intest) {
+    rail_states_[static_cast<std::size_t>(slot.rail)].slots.push_back(slot);
+  }
+  // `pending_` holds the group timings of `arch` in group-ascending order.
+  // A delta-hit commit verified the pick order unchanged, so base_order_ is
+  // already correct; a rebase records it fresh.
+  if (!from_delta) {
+    order_scratch_ = pending_;
+    detail::sort_pending(order_scratch_, full_->options().pick);
+    base_order_.clear();
+    base_order_.reserve(order_scratch_.size());
+    for (const SiGroupTiming& item : order_scratch_) {
+      base_order_.push_back(item.group);
+    }
+  }
+  base_groups_.resize(full_->tests().groups.size());
+  for (SiGroupTiming& item : pending_) {
+    const std::size_t g = static_cast<std::size_t>(item.group);
+    base_groups_[g] = std::move(item);
+  }
+  has_base_ = true;
+}
+
+}  // namespace sitam

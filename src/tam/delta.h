@@ -1,0 +1,165 @@
+// Incremental schedule evaluation (the delta path in front of the memo).
+//
+// Algorithm 2 and the annealing chains evaluate long sequences of
+// architectures where consecutive candidates differ in one move — a core
+// moved between rails, a width change, a rail merge or split. The full
+// evaluator still pays the whole CalculateSITestTime pass (a wrapper-table
+// lookup per core per group) and the InTest pass for every candidate, even
+// though a move leaves most rails byte-identical. DeltaEvaluator keeps the
+// previous architecture's schedule state — per-rail InTest times and slots,
+// per-group SiGroupTiming (duration, involved rails, bottleneck, per-rail
+// busy times), and the pick order — and patches it:
+//
+//  1. Every rail of the new architecture is content-hashed (width + core
+//     sequence, dual 64-bit) and matched against the cached rails. Matched
+//     rails reuse their InTest time/slots verbatim (rail indices remapped);
+//     only unmatched ("dirty") rails rerun the wrapper-table loop.
+//  2. A core is dirty iff it sits on a dirty rail (both architectures
+//     partition the same core set, so the dirty cores of the new
+//     architecture are exactly the cores of the retired cached rails).
+//     SI groups containing no dirty core keep their cached timing with rail
+//     indices remapped; dirty groups rerun CalculateSITestTime.
+//  3. The pick order of the patched group list is recomputed. If it differs
+//     from the cached order the move invalidated the cached group ordering
+//     and the evaluator falls back to the full path (the wrapped
+//     TamEvaluator — whose memo cache now acts as the L2 behind this
+//     path). Otherwise the shared Algorithm-1 placement loop
+//     (tam/schedule.h) replays over the patched timings, which is
+//     bit-identical to the full evaluator by construction.
+//
+// Fallbacks (counted in DeltaBreakdown): no cached state yet, more dirty
+// rails than DeltaOptions::max_dirty_rails (a restart-sized jump, not a
+// move), or a changed pick order. Every evaluation — hit or fallback —
+// rebases the cached state onto its result, so the next move diffs against
+// the newest architecture.
+//
+// Under SITAM_DCHECK every delta hit is verified field-by-field against
+// evaluate_reference (verify_delta_consistency), so Debug and sanitizer
+// runs cross-check the two paths on every single evaluation.
+//
+// Not thread-safe; parallel restarts/chains each own a private
+// TamEvaluator + DeltaEvaluator pair, which is what keeps results
+// bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tam/evaluator.h"
+
+namespace sitam {
+
+struct DeltaOptions {
+  /// Maximum number of unmatched (recomputed-from-scratch) rails before the
+  /// move is treated as a whole-architecture jump and the evaluation falls
+  /// back to the full path. Optimizer moves dirty at most two rails; the
+  /// default leaves headroom for compound moves without letting a rebase
+  /// masquerade as a delta.
+  int max_dirty_rails = 6;
+};
+
+/// Fallback/rebase diagnostics, separate from EvaluatorStats (which only
+/// tracks the hit/miss accounting shared with the memo cache).
+struct DeltaBreakdown {
+  std::int64_t delta_hits = 0;       ///< Patched without a full run.
+  std::int64_t rebases = 0;          ///< Full-path evaluations (any reason).
+  std::int64_t no_base = 0;          ///< No cached state (first call).
+  std::int64_t dirty_fallbacks = 0;  ///< > max_dirty_rails rails changed.
+  std::int64_t order_fallbacks = 0;  ///< Cached pick order invalidated.
+};
+
+/// Incremental front-end over a TamEvaluator. evaluate()/t_soc() are
+/// drop-in replacements for the TamEvaluator calls with identical results;
+/// stats() merges the wrapped evaluator's memo counters with the local
+/// delta-hit count so the EvaluatorStats invariant (hits + delta hits +
+/// misses == evaluations) holds for the stack as a whole.
+class DeltaEvaluator {
+ public:
+  /// `full` must outlive the DeltaEvaluator. The wrapped evaluator performs
+  /// all fallback evaluations (through its memo cache when enabled) and
+  /// supplies the per-group timing recomputation.
+  explicit DeltaEvaluator(const TamEvaluator& full,
+                          const DeltaOptions& options = {});
+
+  /// Evaluate `arch`, patching the cached state when possible. The returned
+  /// reference is into the evaluator's cached state and is invalidated by
+  /// the next evaluate()/t_soc() call.
+  const Evaluation& evaluate(const TamArchitecture& arch);
+
+  /// Scoring-loop entry point: same as evaluate(arch).t_soc.
+  std::int64_t t_soc(const TamArchitecture& arch);
+
+  /// Drops the cached state; the next evaluation rebases via the full path.
+  void invalidate();
+
+  /// Combined counters: the wrapped evaluator's (memo hits + full runs)
+  /// plus this front-end's delta hits.
+  [[nodiscard]] EvaluatorStats stats() const;
+
+  [[nodiscard]] const DeltaBreakdown& breakdown() const { return breakdown_; }
+  [[nodiscard]] const TamEvaluator& full() const { return *full_; }
+  [[nodiscard]] const DeltaOptions& options() const { return options_; }
+
+ private:
+  // Cached per-rail state: content hash + the reusable InTest results.
+  struct RailState {
+    std::uint64_t key = 0;    // salt-0 content hash of (width, cores)
+    std::uint64_t check = 0;  // salt-1 hash; both must match to reuse
+    std::int64_t time_in = 0;
+    std::vector<InTestSlot> slots;  // rail field = cached rail index
+  };
+
+  // Attempts the patch path; returns false (recording the reason) when the
+  // evaluation must fall back. On success commits the new state and leaves
+  // the result in base_eval_.
+  bool try_delta(const TamArchitecture& arch);
+
+  // Full-path evaluation through the wrapped evaluator (memo = L2), then
+  // rebuilds the cached state from scratch.
+  void rebase(const TamArchitecture& arch);
+
+  // Rebuilds rail_states_/rail_lookup_ and base_order_ from base_eval_ and
+  // pending_ (which must describe `arch`). `from_delta` marks a commit off
+  // the patch path: the rail hashes are already in hash_scratch_ and the
+  // pick order was just verified unchanged, so neither is recomputed.
+  void commit(const TamArchitecture& arch, bool from_delta);
+
+  const TamEvaluator* full_;
+  DeltaOptions options_;
+
+  bool has_base_ = false;
+  std::vector<RailState> rail_states_;  // parallel to the cached rails
+  // (key, cached rail index), sorted — binary-searched per new rail. A
+  // sorted flat vector beats a hash map here: it is rebuilt on every
+  // commit, and rails number in the dozens.
+  std::vector<std::pair<std::uint64_t, int>> rail_lookup_;
+  // Cached SiGroupTiming per group index; group == -1 marks a group that is
+  // skipped (patterns <= 0).
+  std::vector<SiGroupTiming> base_groups_;
+  std::vector<int> base_order_;  // group ids in pick order
+  Evaluation base_eval_;
+
+  // Delta-hit accounting local to this front-end; stats() adds it to the
+  // wrapped evaluator's counters.
+  EvaluatorStats local_;
+  DeltaBreakdown breakdown_;
+
+  // Scratch reused across evaluations.
+  std::vector<SiGroupTiming> pending_;  // group-ascending order
+  std::vector<SiGroupTiming> order_scratch_;
+  std::vector<int> rail_of_core_;
+  std::vector<int> match_;    // new rail -> cached rail (-1 = dirty)
+  std::vector<int> old2new_;  // cached rail -> new rail (-1 = retired)
+  std::vector<char> dirty_core_;
+  std::vector<char> base_used_;
+  std::vector<std::pair<int, std::int64_t>> remap_scratch_;
+  // New-rail content hashes from the last try_delta matching pass, reused
+  // by the commit so each rail is hashed once per evaluation.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hash_scratch_;
+  // Double buffer for the patched result: swapped with base_eval_ on every
+  // delta hit so the retired evaluation's vector capacity is recycled.
+  Evaluation eval_scratch_;
+};
+
+}  // namespace sitam

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tam/schedule.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -77,6 +78,45 @@ std::int64_t TamEvaluator::si_group_time(
   }
   if (bottleneck_rail != nullptr) *bottleneck_rail = btn;
   return duration;
+}
+
+SiGroupTiming TamEvaluator::si_group_timing(
+    const TamArchitecture& arch, int group_index,
+    const std::vector<int>& rail_of_core) const {
+  const SiTestGroup& group =
+      tests_->groups[static_cast<std::size_t>(group_index)];
+  rail_shift_.assign(arch.rails.size(), 0);
+  rail_cores_.assign(arch.rails.size(), 0);
+  touched_rails_.clear();
+  for (const int core : group.cores) {
+    const int rail = rail_of_core[static_cast<std::size_t>(core)];
+    SITAM_CHECK_MSG(rail >= 0, "core " << core << " on no rail");
+    if (rail_cores_[static_cast<std::size_t>(rail)] == 0) {
+      touched_rails_.push_back(rail);
+    }
+    ++rail_cores_[static_cast<std::size_t>(rail)];
+    rail_shift_[static_cast<std::size_t>(rail)] += table_->woc_shift(
+        core, arch.rails[static_cast<std::size_t>(rail)].width);
+  }
+  std::sort(touched_rails_.begin(), touched_rails_.end());
+  SiGroupTiming item;
+  item.group = group_index;
+  item.rails = touched_rails_;
+  item.rail_busy.reserve(touched_rails_.size());
+  // Rails ascending + strict `>` means the bottleneck is the lowest-index
+  // rail attaining the max busy time.
+  for (const int rail : touched_rails_) {
+    const std::int64_t t =
+        rail_si_busy(rail_shift_[static_cast<std::size_t>(rail)],
+                     rail_cores_[static_cast<std::size_t>(rail)],
+                     group.patterns);
+    item.rail_busy.push_back(t);
+    if (t > item.duration) {
+      item.duration = t;
+      item.bottleneck = rail;
+    }
+  }
+  return item;
 }
 
 namespace {
@@ -215,185 +255,26 @@ Evaluation TamEvaluator::evaluate_uncached(const TamArchitecture& arch) const {
 
   // SI test groups: duration, involved rails, bottleneck, per-rail busy
   // time (CalculateSITestTime over all groups).
-  struct PendingItem {
-    int group;
-    std::int64_t duration;
-    int bottleneck;
-    std::vector<int> rails;
-  };
-  std::vector<PendingItem> pending;
+  std::vector<SiGroupTiming> pending;
   pending.reserve(tests_->groups.size());
   for (std::size_t g = 0; g < tests_->groups.size(); ++g) {
-    const SiTestGroup& group = tests_->groups[g];
-    if (group.patterns <= 0) continue;
-
-    rail_shift_.assign(arch.rails.size(), 0);
-    rail_cores_.assign(arch.rails.size(), 0);
-    touched_rails_.clear();
-    for (const int core : group.cores) {
-      const int rail = rail_of_core_[static_cast<std::size_t>(core)];
-      SITAM_CHECK_MSG(rail >= 0, "core " << core << " on no rail");
-      if (rail_cores_[static_cast<std::size_t>(rail)] == 0) {
-        touched_rails_.push_back(rail);
-      }
-      ++rail_cores_[static_cast<std::size_t>(rail)];
-      rail_shift_[static_cast<std::size_t>(rail)] += table_->woc_shift(
-          core, arch.rails[static_cast<std::size_t>(rail)].width);
+    if (tests_->groups[g].patterns <= 0) continue;
+    pending.push_back(
+        si_group_timing(arch, static_cast<int>(g), rail_of_core_));
+  }
+  for (const SiGroupTiming& item : pending) {
+    for (std::size_t k = 0; k < item.rails.size(); ++k) {
+      ev.rails[static_cast<std::size_t>(item.rails[k])].time_si +=
+          item.rail_busy[k];
     }
-    PendingItem item;
-    item.group = static_cast<int>(g);
-    item.duration = 0;
-    item.bottleneck = -1;
-    std::sort(touched_rails_.begin(), touched_rails_.end());
-    for (const int rail : touched_rails_) {
-      const std::int64_t t =
-          rail_si_busy(rail_shift_[static_cast<std::size_t>(rail)],
-                       rail_cores_[static_cast<std::size_t>(rail)],
-                       group.patterns);
-      ev.rails[static_cast<std::size_t>(rail)].time_si += t;
-      if (t > item.duration) {
-        item.duration = t;
-        item.bottleneck = rail;
-      }
-    }
-    item.rails = touched_rails_;
-    pending.push_back(std::move(item));
   }
 
   // Algorithm 1 (ScheduleSITest). The paper leaves "find s* in unSchedSI"
   // unspecified; the pick rule orders the candidate list (deterministic in
-  // all cases).
-  switch (options_.pick) {
-    case SchedulePick::kLongestFirst:
-      std::sort(pending.begin(), pending.end(),
-                [](const PendingItem& a, const PendingItem& b) {
-                  if (a.duration != b.duration) {
-                    return a.duration > b.duration;
-                  }
-                  return a.group < b.group;
-                });
-      break;
-    case SchedulePick::kShortestFirst:
-      std::sort(pending.begin(), pending.end(),
-                [](const PendingItem& a, const PendingItem& b) {
-                  if (a.duration != b.duration) {
-                    return a.duration < b.duration;
-                  }
-                  return a.group < b.group;
-                });
-      break;
-    case SchedulePick::kInputOrder:
-      break;  // already in SiTestSet order
-  }
-  // Release times: with interleave_phases an SI test may not start before
-  // every rail it involves has finished its own InTest (shared wrapper
-  // cells per core); otherwise all releases are 0 and the SI schedule is a
-  // separate phase appended after T_in.
-  std::vector<std::int64_t> release(pending.size(), 0);
-  if (options_.interleave_phases) {
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      for (const int rail : pending[i].rails) {
-        release[i] = std::max(
-            release[i], ev.rails[static_cast<std::size_t>(rail)].time_in);
-      }
-    }
-  }
-
-  std::vector<bool> scheduled(pending.size(), false);
-  std::size_t remaining = pending.size();
-  std::int64_t curr_time = 0;
-  std::int64_t running_power = 0;
-  std::vector<bool> occupied(arch.rails.size(), false);
-  // (end, item-index) pairs for SI tests still running at curr_time.
-  std::vector<std::pair<std::int64_t, std::size_t>> running;
-
-  const auto group_power = [&](std::size_t idx) {
-    return tests_->groups[static_cast<std::size_t>(pending[idx].group)]
-        .power;
-  };
-
-  bool bus_busy = false;
-  const auto group_uses_bus = [&](std::size_t idx) {
-    return tests_->groups[static_cast<std::size_t>(pending[idx].group)]
-        .uses_bus;
-  };
-
-  const auto rebuild_occupied = [&] {
-    std::fill(occupied.begin(), occupied.end(), false);
-    std::erase_if(running, [&](const auto& entry) {
-      return entry.first <= curr_time;
-    });
-    running_power = 0;
-    bus_busy = false;
-    for (const auto& [end, idx] : running) {
-      (void)end;
-      running_power += group_power(idx);
-      if (group_uses_bus(idx)) bus_busy = true;
-      for (const int rail : pending[idx].rails) {
-        occupied[static_cast<std::size_t>(rail)] = true;
-      }
-    }
-  };
-
-  while (remaining > 0) {
-    // Find s* whose rails are all free at curr_time and whose power fits
-    // within the remaining budget.
-    std::size_t pick = pending.size();
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      if (scheduled[i]) continue;
-      const bool free = std::none_of(
-          pending[i].rails.begin(), pending[i].rails.end(),
-          [&](int rail) { return occupied[static_cast<std::size_t>(rail)]; });
-      const bool power_ok =
-          options_.power_budget <= 0 ||
-          running_power + group_power(i) <= options_.power_budget;
-      const bool bus_ok =
-          !options_.exclusive_bus || !bus_busy || !group_uses_bus(i);
-      if (release[i] <= curr_time && free && power_ok && bus_ok) {
-        pick = i;
-        break;
-      }
-    }
-    if (pick < pending.size()) {
-      SiScheduleItem item;
-      item.group = pending[pick].group;
-      item.begin = curr_time;
-      item.duration = pending[pick].duration;
-      item.end = item.begin + item.duration;
-      item.bottleneck_rail = pending[pick].bottleneck;
-      item.rails = pending[pick].rails;
-      ev.schedule.makespan = std::max(ev.schedule.makespan, item.end);
-      running.emplace_back(item.end, pick);
-      running_power += group_power(pick);
-      if (group_uses_bus(pick)) bus_busy = true;
-      for (const int rail : pending[pick].rails) {
-        occupied[static_cast<std::size_t>(rail)] = true;
-      }
-      ev.schedule.items.push_back(std::move(item));
-      scheduled[pick] = true;
-      --remaining;
-    } else {
-      // Advance to the earliest event after curr_time — a running test's
-      // end or (with interleaving) an unscheduled test's release — and
-      // retire finished tests from the occupied set.
-      std::int64_t next_time = std::numeric_limits<std::int64_t>::max();
-      for (const auto& [end, idx] : running) {
-        (void)idx;
-        if (end > curr_time) next_time = std::min(next_time, end);
-      }
-      for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (!scheduled[i] && release[i] > curr_time) {
-          next_time = std::min(next_time, release[i]);
-        }
-      }
-      SITAM_CHECK_MSG(next_time !=
-                          std::numeric_limits<std::int64_t>::max(),
-                      "SI scheduling deadlock: nothing running but tests "
-                      "cannot be placed");
-      curr_time = next_time;
-      rebuild_occupied();
-    }
-  }
+  // all cases). Both steps are shared with DeltaEvaluator (tam/schedule.h)
+  // so the two paths stay bit-identical.
+  detail::sort_pending(pending, options_.pick);
+  ev.schedule = detail::schedule_pending(pending, *tests_, options_, ev.rails);
 
   if (options_.interleave_phases) {
     // Item timestamps are absolute; T_soc is the combined makespan and

@@ -94,6 +94,18 @@ struct RailTimes {
   std::int64_t time_used = 0;  ///< time_in + time_si.
 };
 
+/// CalculateSITestTime output for one SI test group: the per-rail busy
+/// breakdown the scheduler (and the incremental delta path) consumes.
+/// `rails` is sorted ascending and `rail_busy` is parallel to it; the
+/// bottleneck is the lowest-index rail achieving the maximum busy time.
+struct SiGroupTiming {
+  int group = -1;  ///< Index into SiTestSet::groups.
+  std::int64_t duration = 0;
+  int bottleneck = -1;
+  std::vector<int> rails;               ///< Involved rail indices, ascending.
+  std::vector<std::int64_t> rail_busy;  ///< T_r(s), parallel to `rails`.
+};
+
 /// One scheduled SI test (the paper's SI-test data structure, Fig. 4).
 struct SiScheduleItem {
   int group = -1;  ///< Index into SiTestSet::groups.
@@ -127,27 +139,54 @@ struct Evaluation {
   SiSchedule schedule;
 };
 
-/// Evaluation-count bookkeeping for one TamEvaluator (and, summed, for a
-/// whole optimizer run). Every evaluate() call — including the ones made
-/// through the t_soc() convenience — counts; cache_hits were answered from
-/// the memo cache, cache_misses ran the full timing model, and the two
-/// always add up to `evaluations`. With memoization enabled, cache_misses
-/// equals the number of distinct architectures seen (while under the memo
-/// capacity).
+/// Evaluation-count bookkeeping for one evaluator stack (and, summed, for a
+/// whole optimizer run). Every evaluate()/t_soc() call counts exactly once,
+/// in exactly one bucket:
+///  * cache_hits  — answered verbatim from the memo cache (an architecture
+///    seen before);
+///  * delta_hits  — answered by the incremental delta path (DeltaEvaluator
+///    patched the previous architecture's schedule state instead of running
+///    ScheduleSITest from scratch);
+///  * cache_misses — ran the full timing model (a full ScheduleSITest).
+/// The three always add up to `evaluations`. A plain TamEvaluator never
+/// records delta hits; only the DeltaEvaluator front-end does.
 struct EvaluatorStats {
   std::int64_t evaluations = 0;
   std::int64_t cache_hits = 0;
+  std::int64_t delta_hits = 0;
   std::int64_t cache_misses = 0;
 
+  /// Fraction of evaluations that avoided a full ScheduleSITest run
+  /// (memo hits + delta hits).
   [[nodiscard]] double hit_rate() const {
+    return evaluations == 0
+               ? 0.0
+               : static_cast<double>(cache_hits + delta_hits) /
+                     static_cast<double>(evaluations);
+  }
+
+  /// Fraction answered verbatim from the memo cache.
+  [[nodiscard]] double memo_hit_rate() const {
     return evaluations == 0 ? 0.0
                             : static_cast<double>(cache_hits) /
                                   static_cast<double>(evaluations);
   }
 
+  /// Fraction answered by the incremental delta path.
+  [[nodiscard]] double delta_hit_rate() const {
+    return evaluations == 0 ? 0.0
+                            : static_cast<double>(delta_hits) /
+                                  static_cast<double>(evaluations);
+  }
+
+  /// Number of full ScheduleSITest runs (alias for the miss bucket, named
+  /// for what it costs).
+  [[nodiscard]] std::int64_t full_evaluations() const { return cache_misses; }
+
   EvaluatorStats& operator+=(const EvaluatorStats& other) {
     evaluations += other.evaluations;
     cache_hits += other.cache_hits;
+    delta_hits += other.delta_hits;
     cache_misses += other.cache_misses;
     return *this;
   }
@@ -183,9 +222,26 @@ class TamEvaluator {
                                            const std::vector<int>& rail_of_core,
                                            int* bottleneck_rail) const;
 
+  /// CalculateSITestTime with the full per-rail breakdown (the scheduler's
+  /// input for one group). `group_index` is recorded in the result;
+  /// `rail_of_core` must come from arch.rail_of_core(core_count()). This is
+  /// the building block the incremental DeltaEvaluator refreshes per dirty
+  /// group; it does not touch the memo cache or the counters.
+  [[nodiscard]] SiGroupTiming si_group_timing(
+      const TamArchitecture& arch, int group_index,
+      const std::vector<int>& rail_of_core) const;
+
+  /// Uncached, uncounted full evaluation — the reference the delta path is
+  /// checked against under SITAM_DCHECK and in the differential tests.
+  /// Bypasses the memo cache and does not touch the stats counters.
+  [[nodiscard]] Evaluation evaluate_reference(const TamArchitecture& arch) const {
+    return evaluate_uncached(arch);
+  }
+
   [[nodiscard]] const Soc& soc() const { return *soc_; }
   [[nodiscard]] const SiTestSet& tests() const { return *tests_; }
   [[nodiscard]] const TestTimeTable& table() const { return *table_; }
+  [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
 
   /// Hit/miss/eval counters since construction (or the last reset).
   [[nodiscard]] const EvaluatorStats& stats() const { return stats_; }

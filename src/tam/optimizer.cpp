@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "tam/delta.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -23,7 +24,8 @@ class Optimizer {
       : soc_(soc),
         w_max_(w_max),
         config_(config),
-        eval_(soc, table, tests, config.evaluator) {
+        eval_(soc, table, tests, config.evaluator),
+        delta_(eval_) {
     if (w_max < 1) {
       throw std::invalid_argument("optimize_tam: w_max must be >= 1");
     }
@@ -43,18 +45,24 @@ class Optimizer {
                                              << " != " << w_max_);
     arch.validate(soc_.core_count());
     OptimizeResult result;
-    result.evaluation = eval_.evaluate(arch);
+    result.evaluation = evaluate(arch);
     result.architecture = std::move(arch);
-    // The evaluator counts every evaluate() call — including the direct
-    // ones above and in order_by_time_used/distribute_cheap/sweep, which a
-    // counter in t_soc() alone would miss.
-    result.stats = eval_.stats();
+    // The evaluator stack counts every evaluate() call — including the
+    // direct ones above and in order_by_time_used/distribute_cheap/sweep,
+    // which a counter in t_soc() alone would miss.
+    result.stats = config_.delta_eval ? delta_.stats() : eval_.stats();
     return result;
   }
 
  private:
   [[nodiscard]] std::int64_t t_soc(const TamArchitecture& arch) const {
-    return eval_.t_soc(arch);  // copy-free on a memo hit
+    // Delta path when enabled (memo behind it as L2); plain memoized
+    // evaluator otherwise. Identical numbers either way.
+    return config_.delta_eval ? delta_.t_soc(arch) : eval_.t_soc(arch);
+  }
+
+  [[nodiscard]] Evaluation evaluate(const TamArchitecture& arch) const {
+    return config_.delta_eval ? delta_.evaluate(arch) : eval_.evaluate(arch);
   }
 
   [[nodiscard]] int fresh_id() { return next_id_++; }
@@ -62,7 +70,7 @@ class Optimizer {
   /// Rail indices sorted by time_used, descending (ties: lower index).
   [[nodiscard]] std::vector<std::size_t> order_by_time_used(
       const TamArchitecture& arch) const {
-    const Evaluation ev = eval_.evaluate(arch);
+    const Evaluation ev = evaluate(arch);
     std::vector<std::size_t> order(arch.rails.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -81,7 +89,7 @@ class Optimizer {
   /// Cheap rule: each wire goes to the rail with the largest time_used.
   void distribute_cheap(TamArchitecture& arch, int wires) const {
     for (int i = 0; i < wires; ++i) {
-      const Evaluation ev = eval_.evaluate(arch);
+      const Evaluation ev = evaluate(arch);
       std::size_t pick = 0;
       for (std::size_t r = 1; r < arch.rails.size(); ++r) {
         if (ev.rails[r].time_used > ev.rails[pick].time_used) pick = r;
@@ -270,7 +278,7 @@ class Optimizer {
     while (guard-- > 0) {
       std::size_t pick = arch.rails.size();
       std::int64_t pick_used = -1;
-      const Evaluation ev = eval_.evaluate(arch);
+      const Evaluation ev = evaluate(arch);
       for (std::size_t r = 0; r < arch.rails.size(); ++r) {
         if (skip.count(arch.rails[r].id) != 0) continue;
         if (ev.rails[r].time_used > pick_used) {
@@ -341,6 +349,10 @@ class Optimizer {
   int w_max_;
   OptimizerConfig config_;
   TamEvaluator eval_;
+  // Incremental front-end over eval_ (which stays the L2 memo behind it).
+  // Mutable for the same reason eval_'s internals are: scoring a candidate
+  // does not change the observable optimizer state.
+  mutable DeltaEvaluator delta_;
   int next_id_ = 0;
 };
 

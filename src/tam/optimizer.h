@@ -24,6 +24,14 @@ namespace sitam {
 struct OptimizerConfig {
   /// Time model / scheduling options used for every candidate evaluation.
   EvaluatorOptions evaluator;
+  /// Score candidates through the incremental DeltaEvaluator (tam/delta.h):
+  /// consecutive candidates differ by a move, so most evaluations patch the
+  /// previous schedule state instead of re-running ScheduleSITest; the memo
+  /// cache serves as the L2 behind it. Results are bit-identical either
+  /// way — the delta path replays the same shared scheduling core — so this
+  /// is purely a throughput switch (kept as a switch for the differential
+  /// tests and the delta_eval_study bench).
+  bool delta_eval = true;
   /// Run the final coreReshuffle stage (Algorithm 2, line 37).
   bool core_reshuffle = true;
   /// During candidate scanning inside mergeTAMs, distribute leftover wires

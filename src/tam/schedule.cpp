@@ -1,0 +1,156 @@
+#include "tam/schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sitam::detail {
+
+void sort_pending(std::vector<SiGroupTiming>& pending, SchedulePick pick) {
+  SITAM_DCHECK_MSG(
+      std::all_of(pending.begin(), pending.end(),
+                  [](const SiGroupTiming& p) { return p.group >= 0; }),
+      "pending group without a group index");
+  switch (pick) {
+    case SchedulePick::kLongestFirst:
+      std::sort(pending.begin(), pending.end(),
+                [](const SiGroupTiming& a, const SiGroupTiming& b) {
+                  if (a.duration != b.duration) {
+                    return a.duration > b.duration;
+                  }
+                  return a.group < b.group;
+                });
+      break;
+    case SchedulePick::kShortestFirst:
+      std::sort(pending.begin(), pending.end(),
+                [](const SiGroupTiming& a, const SiGroupTiming& b) {
+                  if (a.duration != b.duration) {
+                    return a.duration < b.duration;
+                  }
+                  return a.group < b.group;
+                });
+      break;
+    case SchedulePick::kInputOrder:
+      break;  // already in SiTestSet order
+  }
+}
+
+SiSchedule schedule_pending(const std::vector<SiGroupTiming>& pending,
+                            const SiTestSet& tests,
+                            const EvaluatorOptions& options,
+                            const std::vector<RailTimes>& rails) {
+  SiSchedule schedule;
+  // Release times: with interleave_phases an SI test may not start before
+  // every rail it involves has finished its own InTest (shared wrapper
+  // cells per core); otherwise all releases are 0 and the SI schedule is a
+  // separate phase appended after T_in.
+  std::vector<std::int64_t> release(pending.size(), 0);
+  if (options.interleave_phases) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      for (const int rail : pending[i].rails) {
+        release[i] = std::max(
+            release[i], rails[static_cast<std::size_t>(rail)].time_in);
+      }
+    }
+  }
+
+  std::vector<bool> scheduled(pending.size(), false);
+  std::size_t remaining = pending.size();
+  std::int64_t curr_time = 0;
+  std::int64_t running_power = 0;
+  std::vector<bool> occupied(rails.size(), false);
+  // (end, item-index) pairs for SI tests still running at curr_time.
+  std::vector<std::pair<std::int64_t, std::size_t>> running;
+
+  const auto group_power = [&](std::size_t idx) {
+    return tests.groups[static_cast<std::size_t>(pending[idx].group)].power;
+  };
+
+  bool bus_busy = false;
+  const auto group_uses_bus = [&](std::size_t idx) {
+    return tests.groups[static_cast<std::size_t>(pending[idx].group)]
+        .uses_bus;
+  };
+
+  const auto rebuild_occupied = [&] {
+    std::fill(occupied.begin(), occupied.end(), false);
+    std::erase_if(running, [&](const auto& entry) {
+      return entry.first <= curr_time;
+    });
+    running_power = 0;
+    bus_busy = false;
+    for (const auto& [end, idx] : running) {
+      (void)end;
+      running_power += group_power(idx);
+      if (group_uses_bus(idx)) bus_busy = true;
+      for (const int rail : pending[idx].rails) {
+        occupied[static_cast<std::size_t>(rail)] = true;
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    // Find s* whose rails are all free at curr_time and whose power fits
+    // within the remaining budget.
+    std::size_t pick = pending.size();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (scheduled[i]) continue;
+      const bool free = std::none_of(
+          pending[i].rails.begin(), pending[i].rails.end(),
+          [&](int rail) { return occupied[static_cast<std::size_t>(rail)]; });
+      const bool power_ok =
+          options.power_budget <= 0 ||
+          running_power + group_power(i) <= options.power_budget;
+      const bool bus_ok =
+          !options.exclusive_bus || !bus_busy || !group_uses_bus(i);
+      if (release[i] <= curr_time && free && power_ok && bus_ok) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick < pending.size()) {
+      SiScheduleItem item;
+      item.group = pending[pick].group;
+      item.begin = curr_time;
+      item.duration = pending[pick].duration;
+      item.end = item.begin + item.duration;
+      item.bottleneck_rail = pending[pick].bottleneck;
+      item.rails = pending[pick].rails;
+      schedule.makespan = std::max(schedule.makespan, item.end);
+      running.emplace_back(item.end, pick);
+      running_power += group_power(pick);
+      if (group_uses_bus(pick)) bus_busy = true;
+      for (const int rail : pending[pick].rails) {
+        occupied[static_cast<std::size_t>(rail)] = true;
+      }
+      schedule.items.push_back(std::move(item));
+      scheduled[pick] = true;
+      --remaining;
+    } else {
+      // Advance to the earliest event after curr_time — a running test's
+      // end or (with interleaving) an unscheduled test's release — and
+      // retire finished tests from the occupied set.
+      std::int64_t next_time = std::numeric_limits<std::int64_t>::max();
+      for (const auto& [end, idx] : running) {
+        (void)idx;
+        if (end > curr_time) next_time = std::min(next_time, end);
+      }
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!scheduled[i] && release[i] > curr_time) {
+          next_time = std::min(next_time, release[i]);
+        }
+      }
+      SITAM_CHECK_MSG(next_time !=
+                          std::numeric_limits<std::int64_t>::max(),
+                      "SI scheduling deadlock: nothing running but tests "
+                      "cannot be placed");
+      curr_time = next_time;
+      rebuild_occupied();
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sitam::detail

@@ -1,0 +1,36 @@
+// Shared Algorithm-1 scheduling core.
+//
+// The full evaluator (TamEvaluator::evaluate) and the incremental evaluator
+// (DeltaEvaluator) must produce bit-identical schedules, so the two pieces
+// every schedule is built from — the deterministic pick-rule ordering and
+// the greedy placement loop — live here and are called by both. A pending
+// group is the CalculateSITestTime output for one SI test group
+// (SiGroupTiming); the placement loop consumes a pick-ordered list of them
+// and never touches the wrapper tables, which is exactly what makes the
+// delta path cheap: it only has to refresh the SiGroupTiming entries a move
+// dirtied before replaying the loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sitest/group.h"
+#include "tam/evaluator.h"
+
+namespace sitam::detail {
+
+/// Orders `pending` by the pick rule. Every rule is a strict total order
+/// (ties broken by group index), so the result is unique regardless of the
+/// sort algorithm.
+void sort_pending(std::vector<SiGroupTiming>& pending, SchedulePick pick);
+
+/// The greedy placement loop of Algorithm 1 (ScheduleSITest): schedules
+/// `pending` (already in pick order) subject to rail exclusivity and the
+/// optional power/bus constraints. `rails` supplies per-rail InTest times
+/// for the interleaved release rule; only `rails[r].time_in` is read.
+/// Throws via SITAM_CHECK on a scheduling deadlock.
+[[nodiscard]] SiSchedule schedule_pending(
+    const std::vector<SiGroupTiming>& pending, const SiTestSet& tests,
+    const EvaluatorOptions& options, const std::vector<RailTimes>& rails);
+
+}  // namespace sitam::detail

@@ -256,17 +256,92 @@ std::vector<std::string> verify_stats(const EvaluatorStats& stats) {
     problems.push_back(os.str());
   };
   if (stats.evaluations < 0 || stats.cache_hits < 0 ||
-      stats.cache_misses < 0) {
+      stats.delta_hits < 0 || stats.cache_misses < 0) {
     fail("negative evaluator counter: evaluations=", stats.evaluations,
-         " hits=", stats.cache_hits, " misses=", stats.cache_misses);
+         " hits=", stats.cache_hits, " delta_hits=", stats.delta_hits,
+         " misses=", stats.cache_misses);
   }
-  if (stats.cache_hits + stats.cache_misses != stats.evaluations) {
-    fail("hits + misses = ", stats.cache_hits + stats.cache_misses,
+  if (stats.cache_hits + stats.delta_hits + stats.cache_misses !=
+      stats.evaluations) {
+    fail("memo hits + delta hits + misses = ",
+         stats.cache_hits + stats.delta_hits + stats.cache_misses,
          " does not add up to ", stats.evaluations, " evaluations");
   }
   if (stats.evaluations == 0) {
     fail("no evaluations recorded: an optimizer result always evaluates "
          "at least its final architecture");
+  }
+  return problems;
+}
+
+std::vector<std::string> verify_delta_consistency(
+    const Evaluation& delta, const Evaluation& reference) {
+  std::vector<std::string> problems;
+  const auto fail = [&problems](auto&&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    problems.push_back(os.str());
+  };
+  if (delta.t_in != reference.t_in) {
+    fail("t_in ", delta.t_in, " != reference ", reference.t_in);
+  }
+  if (delta.t_si != reference.t_si) {
+    fail("t_si ", delta.t_si, " != reference ", reference.t_si);
+  }
+  if (delta.t_soc != reference.t_soc) {
+    fail("t_soc ", delta.t_soc, " != reference ", reference.t_soc);
+  }
+  if (delta.schedule.makespan != reference.schedule.makespan) {
+    fail("makespan ", delta.schedule.makespan, " != reference ",
+         reference.schedule.makespan);
+  }
+  if (delta.rails.size() != reference.rails.size()) {
+    fail("rail count ", delta.rails.size(), " != reference ",
+         reference.rails.size());
+  } else {
+    for (std::size_t r = 0; r < delta.rails.size(); ++r) {
+      if (delta.rails[r].time_in != reference.rails[r].time_in ||
+          delta.rails[r].time_si != reference.rails[r].time_si ||
+          delta.rails[r].time_used != reference.rails[r].time_used) {
+        fail("rail ", r, " times (", delta.rails[r].time_in, ", ",
+             delta.rails[r].time_si, ", ", delta.rails[r].time_used,
+             ") != reference (", reference.rails[r].time_in, ", ",
+             reference.rails[r].time_si, ", ", reference.rails[r].time_used,
+             ")");
+      }
+    }
+  }
+  if (delta.intest.size() != reference.intest.size()) {
+    fail("InTest slot count ", delta.intest.size(), " != reference ",
+         reference.intest.size());
+  } else {
+    for (std::size_t i = 0; i < delta.intest.size(); ++i) {
+      const InTestSlot& a = delta.intest[i];
+      const InTestSlot& b = reference.intest[i];
+      if (a.core != b.core || a.rail != b.rail || a.begin != b.begin ||
+          a.end != b.end) {
+        fail("InTest slot ", i, " (core ", a.core, ", rail ", a.rail, ", [",
+             a.begin, ", ", a.end, ")) != reference (core ", b.core,
+             ", rail ", b.rail, ", [", b.begin, ", ", b.end, "))");
+      }
+    }
+  }
+  if (delta.schedule.items.size() != reference.schedule.items.size()) {
+    fail("schedule item count ", delta.schedule.items.size(),
+         " != reference ", reference.schedule.items.size());
+  } else {
+    for (std::size_t i = 0; i < delta.schedule.items.size(); ++i) {
+      const SiScheduleItem& a = delta.schedule.items[i];
+      const SiScheduleItem& b = reference.schedule.items[i];
+      if (a.group != b.group || a.begin != b.begin || a.end != b.end ||
+          a.duration != b.duration ||
+          a.bottleneck_rail != b.bottleneck_rail || a.rails != b.rails) {
+        fail("schedule item ", i, " (group ", a.group, ", [", a.begin, ", ",
+             a.end, "), btn ", a.bottleneck_rail, ") != reference (group ",
+             b.group, ", [", b.begin, ", ", b.end, "), btn ",
+             b.bottleneck_rail, ")");
+      }
+    }
   }
   return problems;
 }

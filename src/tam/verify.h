@@ -33,11 +33,21 @@ namespace sitam {
     const TamArchitecture& arch, const Evaluation& evaluation,
     const EvaluatorOptions& options = {});
 
-/// Sanity-checks evaluator counters: non-negative, hits + misses equal to
-/// the total evaluation count, and a non-empty count when a result was
-/// produced. Same contract as verify_evaluation: a list of human-readable
-/// violations, empty = verified.
+/// Sanity-checks evaluator counters: non-negative, memo hits + delta hits +
+/// misses equal to the total evaluation count, and a non-empty count when a
+/// result was produced. Same contract as verify_evaluation: a list of
+/// human-readable violations, empty = verified.
 [[nodiscard]] std::vector<std::string> verify_stats(
     const EvaluatorStats& stats);
+
+/// Field-by-field comparison of a DeltaEvaluator result against the full
+/// ScheduleSITest reference for the same architecture: totals, per-rail
+/// times, InTest slots and every schedule item must be bit-identical (the
+/// delta path replays the shared placement loop, so there is no tolerance).
+/// Returns human-readable mismatches, empty = identical. The delta path
+/// runs this on every hit under SITAM_DCHECK; the differential tests run it
+/// unconditionally.
+[[nodiscard]] std::vector<std::string> verify_delta_consistency(
+    const Evaluation& delta, const Evaluation& reference);
 
 }  // namespace sitam

@@ -5,6 +5,7 @@
 
 #include "core/cache.h"
 #include "soc/benchmarks.h"
+#include "tam/delta.h"
 #include "tam/evaluator.h"
 #include "wrapper/design.h"
 
@@ -221,6 +222,80 @@ TEST_F(EvaluatorMemoTest, ResetStatsClearsCounters) {
   EXPECT_EQ(evaluator.stats().evaluations, 0);
   EXPECT_EQ(evaluator.stats().cache_hits, 0);
   EXPECT_EQ(evaluator.stats().cache_misses, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Memo-vs-delta bucket accounting: a DeltaEvaluator stacked on the memo must
+// keep the two hit kinds apart — memo hits answer repeats, delta hits answer
+// moves — and the rate helpers must report each bucket separately.
+// ---------------------------------------------------------------------------
+
+TEST_F(EvaluatorMemoTest, DeltaHitsAndMemoHitsLandInSeparateBuckets) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  DeltaEvaluator delta(evaluator);
+  const TamArchitecture arch = two_rails();
+  TamArchitecture moved = two_rails();
+  std::swap(moved.rails[0].width, moved.rails[1].width);
+
+  (void)delta.evaluate(arch);   // rebase: full run -> cache_misses
+  (void)delta.evaluate(moved);  // one move -> delta_hits (never memoized)
+  delta.invalidate();
+  (void)delta.evaluate(arch);  // rebase of the memoized base -> cache_hits
+
+  const EvaluatorStats stats = delta.stats();
+  EXPECT_EQ(stats.evaluations, 3);
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_EQ(stats.delta_hits, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.full_evaluations(), 1);
+}
+
+TEST_F(EvaluatorMemoTest, RateHelpersSeparateTheBuckets) {
+  EvaluatorStats stats;
+  stats.evaluations = 8;
+  stats.cache_hits = 2;
+  stats.delta_hits = 5;
+  stats.cache_misses = 1;
+  EXPECT_DOUBLE_EQ(stats.memo_hit_rate(), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(stats.delta_hit_rate(), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 7.0 / 8.0);
+  EXPECT_EQ(stats.full_evaluations(), 1);
+
+  const EvaluatorStats zero;
+  EXPECT_DOUBLE_EQ(zero.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.memo_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.delta_hit_rate(), 0.0);
+}
+
+TEST_F(EvaluatorMemoTest, DeltaHitsBypassTheMemoEntirely) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  DeltaEvaluator delta(evaluator);
+  TamArchitecture arch = two_rails();
+  (void)delta.evaluate(arch);
+  const std::int64_t wrapped_before = evaluator.stats().evaluations;
+  std::swap(arch.rails[0].width, arch.rails[1].width);
+  (void)delta.evaluate(arch);  // patched: must not consult the memo
+  EXPECT_EQ(evaluator.stats().evaluations, wrapped_before);
+  EXPECT_EQ(delta.breakdown().delta_hits, 1);
+}
+
+TEST_F(EvaluatorMemoTest, StatsSumWrappedAndLocalCounters) {
+  const TamEvaluator evaluator(soc_, table_, tests_);
+  DeltaEvaluator delta(evaluator);
+  TamArchitecture arch = two_rails();
+  (void)delta.evaluate(arch);
+  // Direct use of the wrapped evaluator shares the same stats() totals.
+  (void)evaluator.evaluate(arch);
+  std::swap(arch.rails[0].width, arch.rails[1].width);
+  (void)delta.evaluate(arch);
+
+  const EvaluatorStats combined = delta.stats();
+  EXPECT_EQ(combined.evaluations, 3);
+  EXPECT_EQ(combined.cache_misses, 1);  // the initial rebase
+  EXPECT_EQ(combined.cache_hits, 1);    // the direct re-evaluation
+  EXPECT_EQ(combined.delta_hits, 1);    // the move
+  EXPECT_EQ(combined.cache_hits + combined.delta_hits + combined.cache_misses,
+            combined.evaluations);
 }
 
 TEST_F(EvaluatorMemoTest, ArchitectureHashIgnoresRailIds) {

@@ -326,6 +326,37 @@ TEST(LintAllowlist, MalformedFileThrows) {
                std::runtime_error);
 }
 
+// Exemption check for the incremental-evaluation TU layout: the delta
+// evaluator split (tam/delta.*, the shared tam/schedule.* placement core,
+// the delta bench and its tests) must lint clean with NO exemptions — no
+// inline `sitam-lint: allow` directives and no allowlist entries. The
+// mutating entry points carry real SITAM_CHECK/SITAM_DCHECK guards (SL005),
+// so any future finding here means the layout regressed, not that the
+// linter needs a new exception.
+TEST(LintRepo, DeltaEvaluationTusNeedNoExemptions) {
+  lint::Options options;
+  options.root = std::filesystem::path(SITAM_REPO_ROOT);
+  for (const char* file :
+       {"src/tam/delta.h", "src/tam/delta.cpp", "src/tam/schedule.h",
+        "src/tam/schedule.cpp", "bench/delta_eval_study.cpp",
+        "tests/delta_eval_test.cpp"}) {
+    const auto path = options.root / file;
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    options.paths.push_back(path);
+  }
+  const lint::Report report = lint::run(options);
+  std::string listing;
+  for (const auto& f : report.findings) {
+    listing += f.file + ":" + std::to_string(f.line) + ": [" + f.rule +
+               "] " + f.message + "\n";
+  }
+  EXPECT_TRUE(report.findings.empty()) << listing;
+  // "Clean" must not be achieved through suppression: zero inline
+  // directives and zero allowlist entries cover these files.
+  EXPECT_TRUE(report.suppressed.empty());
+  EXPECT_EQ(report.files_scanned, 6);
+}
+
 // The real tree must lint clean — the same gate as the `lint_repo` ctest,
 // here with a precise failure message listing the offending findings.
 TEST(LintRepo, WholeTreeIsClean) {

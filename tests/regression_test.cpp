@@ -7,7 +7,14 @@
 // constants and record the change in EXPERIMENTS.md.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "core/flow.h"
+#include "core/report.h"
 #include "interconnect/terminal_space.h"
 #include "pattern/compaction.h"
 #include "pattern/generator.h"
@@ -68,6 +75,62 @@ TEST(Regression, Mini5Experiment) {
   EXPECT_EQ(outcome.per_grouping[1].evaluation.t_soc, 5954);
   EXPECT_EQ(outcome.t_min, 5196);
   EXPECT_EQ(outcome.best_grouping, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file regressions: the rendered paper tables for canonical (small)
+// p34392/p93791 sweeps are pinned byte-for-byte under tests/golden/. They
+// pin not just the optimizer's numbers but the whole reporting pipeline —
+// captions, column layout, percentage formatting, CSV dump. Regenerate with
+//   SITAM_UPDATE_GOLDEN=1 ctest -R regression_test
+// and record intentional shifts in EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+std::string render_sweep_document(const SweepResult& sweep) {
+  std::ostringstream os;
+  os << sweep_caption(sweep) << "\n"
+     << render_paper_table(sweep) << "\n"
+     << render_paper_table(sweep).csv();
+  return os.str();
+}
+
+void expect_matches_golden(const std::string& name,
+                           const std::string& actual) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(SITAM_GOLDEN_DIR) / name;
+  if (std::getenv("SITAM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with SITAM_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Byte-for-byte: any drift in numbers *or* formatting is a finding.
+  EXPECT_EQ(buffer.str(), actual) << "golden mismatch for " << name;
+}
+
+SweepResult canonical_sweep(const std::string& soc_name,
+                            std::int64_t pattern_count) {
+  const Soc soc = load_benchmark(soc_name);
+  SiWorkloadConfig config;
+  config.pattern_count = pattern_count;
+  config.groupings = {1, 2};
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  return run_sweep(workload, {16, 32}, OptimizerConfig{});
+}
+
+TEST(Regression, Table2P34392Golden) {
+  expect_matches_golden("table2_p34392.txt",
+                        render_sweep_document(canonical_sweep("p34392", 800)));
+}
+
+TEST(Regression, Table3P93791Golden) {
+  expect_matches_golden("table3_p93791.txt",
+                        render_sweep_document(canonical_sweep("p93791", 800)));
 }
 
 TEST(Regression, D695Experiment) {

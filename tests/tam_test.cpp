@@ -530,10 +530,14 @@ TEST(OptimizerStats, CountsEveryEvaluation) {
             evaluator.stats().evaluations);
 
   // End-to-end: a full optimizer run reports a consistent, non-zero count.
+  // The optimizer scores through the delta path by default, so the
+  // accounting invariant includes the delta-hit bucket.
   const OptimizeResult result = optimize_tam(soc, table, kNoTests, 8);
   EXPECT_GT(result.stats.evaluations, 0);
-  EXPECT_EQ(result.stats.cache_hits + result.stats.cache_misses,
+  EXPECT_EQ(result.stats.cache_hits + result.stats.delta_hits +
+                result.stats.cache_misses,
             result.stats.evaluations);
+  EXPECT_GT(result.stats.delta_hits, 0);
   // The bottom-up stage alone evaluates more architectures than the old
   // t_soc-only counter could ever see for a 5-core SOC (it reported at
   // most a handful); any credible count exceeds the core count.

@@ -195,20 +195,23 @@ OptimizerConfig optimizer_config(const CliArgs& args) {
       static_cast<int>(args.get_or("restarts", std::int64_t{1}));
   config.threads = static_cast<int>(args.get_or("threads", std::int64_t{1}));
   config.evaluator.memoize = !args.has("no-cache");
+  config.delta_eval = !args.has("no-delta");
   return config;
 }
 
 void stats_json(JsonWriter& json, const EvaluatorStats& stats) {
   json.key("evaluations").value(stats.evaluations);
   json.key("cache_hits").value(stats.cache_hits);
+  json.key("delta_hits").value(stats.delta_hits);
   json.key("cache_misses").value(stats.cache_misses);
+  json.key("full_evaluations").value(stats.full_evaluations());
   json.key("cache_hit_rate").value(stats.hit_rate());
+  json.key("memo_hit_rate").value(stats.memo_hit_rate());
+  json.key("delta_hit_rate").value(stats.delta_hit_rate());
 }
 
 void print_stats(const EvaluatorStats& stats) {
-  std::cout << "evaluations: " << stats.evaluations << " (cache hits "
-            << stats.cache_hits << ", misses " << stats.cache_misses
-            << ", hit rate " << 100.0 * stats.hit_rate() << " %)\n";
+  std::cout << render_evaluator_stats(stats) << "\n";
 }
 
 int cmd_optimize(const CliArgs& args) {
@@ -381,7 +384,7 @@ int usage() {
          "  gantt    --soc=... --wmax=W     schedule chart [--svg=out.svg]\n"
          "  verify   --soc=... --wmax=W     optimize + independent check\n"
          "  (optimize/sweep accept --json; optimize/sweep/verify accept\n"
-         "   --restarts=N --threads=T (0 = all cores) --no-cache)\n";
+         "   --restarts=N --threads=T (0 = all cores) --no-cache --no-delta)\n";
   return 2;
 }
 
