@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "interconnect/terminal_space.h"
+#include "obs/manifest.h"
 #include "pattern/compaction.h"
 #include "pattern/generator.h"
 #include "sitest/group.h"
@@ -55,8 +56,15 @@ double best_of(int repeats, const F& run) {
 
 void write_kernel_report(const std::string& path,
                          const std::vector<KernelRow>& rows, int repeats) {
+  obs::RunManifest manifest = obs::RunManifest::collect("compaction_study");
+  manifest.seed = 0x20070604ULL;
+  manifest.threads = 1;
+  manifest.add_extra("timing_repeats", std::to_string(repeats));
+
   JsonWriter json;
   json.begin_object();
+  json.key("manifest");
+  manifest.write(json);
   json.key("benchmark").value("compact_greedy kernel: packed vs reference");
   json.key("generator_seed").value(std::int64_t{0x20070604LL});
   json.key("timing_repeats").value(std::int64_t{repeats});

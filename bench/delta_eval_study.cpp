@@ -17,6 +17,7 @@
 
 #include "core/flow.h"
 #include "core/report.h"
+#include "obs/manifest.h"
 #include "soc/benchmarks.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
@@ -77,8 +78,16 @@ void write_report(const std::string& path, std::int64_t n_r,
                   const std::vector<int>& widths, const ModeOutcome& delta,
                   const ModeOutcome& baseline, double ratio,
                   bool identical) {
+  obs::RunManifest manifest = obs::RunManifest::collect("delta_eval_study");
+  manifest.scenario = "p93791";
+  manifest.seed = SiWorkloadConfig{}.seed;
+  manifest.threads = 1;
+  manifest.add_extra("n_r", std::to_string(n_r));
+
   JsonWriter json;
   json.begin_object();
+  json.key("manifest");
+  manifest.write(json);
   json.key("benchmark")
       .value("incremental delta evaluation vs memoized full evaluation");
   json.key("soc").value("p93791");

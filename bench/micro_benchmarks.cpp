@@ -9,12 +9,16 @@
 // --no_parallel_report).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/flow.h"
+#include "obs/manifest.h"
+#include "obs/obs.h"
 #include "hypergraph/partition.h"
 #include "interconnect/terminal_space.h"
 #include "pattern/compaction.h"
@@ -291,6 +295,52 @@ BENCHMARK(BM_ExhaustiveMini5)->Arg(4)->Arg(8)->Arg(12)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Observability overhead: the same probes with tracing off (no session, the
+// single relaxed-load fast path) and on (recording into the thread buffer).
+// ---------------------------------------------------------------------------
+
+void BM_TraceProbesDisabled(benchmark::State& state) {
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    SITAM_TRACE_SPAN("bench.obs.probe");
+    SITAM_COUNTER("bench.obs.probe_count", 1);
+    benchmark::DoNotOptimize(++acc);
+  }
+}
+BENCHMARK(BM_TraceProbesDisabled);
+
+void BM_TraceProbesEnabled(benchmark::State& state) {
+  // Past the per-thread span capacity the session counts drops instead of
+  // recording, so long runs measure the (cheaper) saturated path for spans
+  // while counters keep their full cost.
+  obs::TraceSession session;
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    SITAM_TRACE_SPAN("bench.obs.probe");
+    SITAM_COUNTER("bench.obs.probe_count", 1);
+    benchmark::DoNotOptimize(++acc);
+  }
+  session.stop();
+}
+BENCHMARK(BM_TraceProbesEnabled);
+
+void BM_OptimizeTamTraced(benchmark::State& state) {
+  // Arg(0)=untraced, Arg(1)=active session: the pipeline-level cost of the
+  // instrumentation on a real optimization (compare the two rows).
+  const Soc& soc = p93791();
+  const TestTimeTable table(soc, 32);
+  const SiTestSet tests = sample_tests(soc, 4);
+  std::optional<obs::TraceSession> session;
+  if (state.range(0) != 0) session.emplace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_tam(soc, table, tests, 32));
+  }
+  if (session) session->stop();
+}
+BENCHMARK(BM_OptimizeTamTraced)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // BENCH_parallel.json: serial vs parallel multi-start, memo hit rate.
 // ---------------------------------------------------------------------------
 
@@ -327,8 +377,17 @@ void write_parallel_report(const std::string& path) {
       optimize_tam_annealing(soc, table, tests, w_max, parallel);
   const double parallel_seconds = parallel_watch.seconds();
 
+  obs::RunManifest manifest = obs::RunManifest::collect("micro_benchmarks");
+  manifest.scenario = soc.name;
+  manifest.seed = serial.seed;
+  manifest.threads = parallel.threads;
+  manifest.add_extra("chains", std::to_string(chains));
+  manifest.add_extra("iterations", std::to_string(serial.iterations));
+
   JsonWriter json;
   json.begin_object();
+  json.key("manifest");
+  manifest.write(json);
   json.key("soc").value(soc.name);
   json.key("w_max").value(std::int64_t{w_max});
   json.key("chains").value(std::int64_t{chains});
@@ -367,6 +426,100 @@ void write_parallel_report(const std::string& path) {
             << 100.0 * parallel_result.stats.hit_rate() << " %\n";
 }
 
+// ---------------------------------------------------------------------------
+// --trace_overhead_gate: exit-code guard on the cost of the obs subsystem.
+// ---------------------------------------------------------------------------
+
+/// Min-of-N interleaved traced vs untraced p34392 smoke sweeps, plus a
+/// tight probe loop with no session active. Fails (exit 1) when an active
+/// session costs more than 5% (+2 ms scheduling slack) on the sweep, when
+/// a disabled probe costs more than a few ns, or when traced and untraced
+/// runs stop being bit-identical.
+int run_trace_overhead_gate() {
+  const Soc soc = load_benchmark("p34392");
+  SiWorkloadConfig config;
+  config.pattern_count = 400;
+  config.seed = 0x20070604;
+  OptimizerConfig optimizer;
+  optimizer.restarts = 2;
+  optimizer.threads = 2;
+  const SiWorkload workload = SiWorkload::prepare(soc, config);
+  const std::vector<int> widths{8, 16};
+
+  constexpr int kRounds = 7;
+  double min_off = 1e300;
+  double min_on = 1e300;
+  std::int64_t t_off = 0;
+  std::int64_t t_on = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      Stopwatch watch;
+      const SweepResult sweep = run_sweep(workload, widths, optimizer);
+      min_off = std::min(min_off, watch.seconds());
+      t_off = sweep.rows.front().t_min;
+    }
+    {
+      obs::TraceSession session;
+      Stopwatch watch;
+      const SweepResult sweep = run_sweep(workload, widths, optimizer);
+      min_on = std::min(min_on, watch.seconds());
+      session.stop();
+      t_on = sweep.rows.front().t_min;
+    }
+  }
+
+  // A disabled probe is one relaxed atomic load and a branch; per-probe
+  // cost is bounded in absolute nanoseconds against an identical loop
+  // without the probe.
+  constexpr std::int64_t kProbes = 8'000'000;
+  const auto probe_loop = [&](bool instrumented) {
+    double best = 1e300;
+    for (int round = 0; round < 5; ++round) {
+      Stopwatch watch;
+      std::int64_t acc = 0;
+      if (instrumented) {
+        for (std::int64_t i = 0; i < kProbes; ++i) {
+          SITAM_COUNTER("bench.obs.gate_probe", 1);
+          benchmark::DoNotOptimize(acc += i & 7);
+        }
+      } else {
+        for (std::int64_t i = 0; i < kProbes; ++i) {
+          benchmark::DoNotOptimize(acc += i & 7);
+        }
+      }
+      best = std::min(best, watch.seconds());
+    }
+    return best;
+  };
+  const double base_loop = probe_loop(false);
+  const double probe_ns = (probe_loop(true) - base_loop) * 1e9 /
+                          static_cast<double>(kProbes);
+
+  const double overhead_pct = 100.0 * (min_on - min_off) / min_off;
+  std::cout << "trace_overhead_gate: sweep untraced " << min_off * 1e3
+            << " ms, traced " << min_on * 1e3 << " ms (" << overhead_pct
+            << " % overhead); disabled probe " << probe_ns << " ns\n";
+
+  int failures = 0;
+  if (t_on != t_off) {
+    std::cerr << "trace_overhead_gate: FAIL: traced run changed the result ("
+              << t_on << " != " << t_off << " cc)\n";
+    ++failures;
+  }
+  if (min_on > min_off * 1.05 + 0.002) {
+    std::cerr << "trace_overhead_gate: FAIL: active session costs "
+              << overhead_pct << " % (> 5 % + 2 ms slack)\n";
+    ++failures;
+  }
+  if (probe_ns > 5.0) {
+    std::cerr << "trace_overhead_gate: FAIL: disabled probe costs "
+              << probe_ns << " ns (> 5 ns)\n";
+    ++failures;
+  }
+  if (failures == 0) std::cout << "trace_overhead_gate: OK\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -376,6 +529,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--no_parallel_report") {
       parallel_report = false;
+    } else if (std::string(argv[i]) == "--trace_overhead_gate") {
+      return run_trace_overhead_gate();
     } else {
       passthrough.push_back(argv[i]);
     }

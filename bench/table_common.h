@@ -15,6 +15,10 @@
 //   --threads=T         restart-loop worker threads (0 = all cores)
 //   --no-cache-evals    disable the evaluator memo cache
 //   --no-delta          disable the incremental delta evaluator
+//   --smoke             tiny traced-friendly run: N_r=400, widths {8,16},
+//                       2 restarts on 2 threads (explicit flags still win)
+//   --trace-out=FILE    write a Chrome trace-event JSON of the run
+//   --metrics-out=FILE  write the counter/histogram metrics JSON
 #pragma once
 
 #include <cstdint>
@@ -25,19 +29,45 @@
 #include "core/cache.h"
 #include "core/flow.h"
 #include "core/report.h"
+#include "obs/export.h"
 #include "soc/benchmarks.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
 
 namespace sitam::bench {
 
+/// Builds the standard bench manifest from the parsed flags; `scenario`
+/// names the SOC or study the binary drives.
+inline obs::RunManifest bench_manifest(const CliArgs& args,
+                                       const std::string& scenario,
+                                       std::uint64_t seed, int threads) {
+  obs::RunManifest manifest = obs::RunManifest::collect(args.program());
+  manifest.scenario = scenario;
+  manifest.seed = seed;
+  manifest.threads = threads;
+  return manifest;
+}
+
+/// Constructs the TraceEmitter for the standard --trace-out/--metrics-out
+/// flags; inert (no session) when neither flag is present.
+inline obs::TraceEmitter trace_emitter_from(const CliArgs& args,
+                                            obs::RunManifest manifest) {
+  return obs::TraceEmitter(args.get_or("trace-out", std::string()),
+                           args.get_or("metrics-out", std::string()),
+                           std::move(manifest));
+}
+
 inline int run_table_bench(const std::string& soc_name, int argc,
                            char** argv) {
   const CliArgs args(argc, argv);
-  std::vector<std::int64_t> pattern_counts =
-      args.get_list_or("nr", {10000, 100000});
-  const std::vector<std::int64_t> width_args =
-      args.get_list_or("widths", {8, 16, 24, 32, 40, 48, 56, 64});
+  const bool smoke = args.has("smoke");
+  std::vector<std::int64_t> pattern_counts = args.get_list_or(
+      "nr", smoke ? std::vector<std::int64_t>{400}
+                  : std::vector<std::int64_t>{10000, 100000});
+  const std::vector<std::int64_t> width_args = args.get_list_or(
+      "widths", smoke ? std::vector<std::int64_t>{8, 16}
+                      : std::vector<std::int64_t>{8, 16, 24, 32, 40, 48, 56,
+                                                  64});
   const auto seed =
       static_cast<std::uint64_t>(args.get_or("seed", std::int64_t{0x20070604}));
   if (args.has("fast")) {
@@ -47,11 +77,32 @@ inline int run_table_bench(const std::string& soc_name, int argc,
 
   OptimizerConfig optimizer;
   optimizer.restarts =
-      static_cast<int>(args.get_or("restarts", std::int64_t{1}));
+      static_cast<int>(args.get_or("restarts", std::int64_t{smoke ? 2 : 1}));
   optimizer.threads =
-      static_cast<int>(args.get_or("threads", std::int64_t{1}));
+      static_cast<int>(args.get_or("threads", std::int64_t{smoke ? 2 : 1}));
   optimizer.evaluator.memoize = !args.has("no-cache-evals");
   optimizer.delta_eval = !args.has("no-delta");
+
+  obs::RunManifest manifest =
+      bench_manifest(args, soc_name, seed, optimizer.threads);
+  manifest.add_extra("restarts", std::to_string(optimizer.restarts));
+  manifest.add_extra("memoize", optimizer.evaluator.memoize ? "1" : "0");
+  manifest.add_extra("delta_eval", optimizer.delta_eval ? "1" : "0");
+  {
+    std::string list;
+    for (const auto n : pattern_counts) {
+      if (!list.empty()) list += ',';
+      list += std::to_string(n);
+    }
+    manifest.add_extra("nr", list);
+    list.clear();
+    for (const int w : widths) {
+      if (!list.empty()) list += ',';
+      list += std::to_string(w);
+    }
+    manifest.add_extra("widths", list);
+  }
+  obs::TraceEmitter emitter = trace_emitter_from(args, std::move(manifest));
 
   const Soc soc = load_benchmark(soc_name);
   std::cout << "=== " << soc_name
@@ -100,7 +151,7 @@ inline int run_table_bench(const std::string& soc_name, int argc,
       std::cout << render_paper_table(sweep).csv() << "\n";
     }
   }
-  return 0;
+  return emitter.finish() ? 0 : 1;
 }
 
 }  // namespace sitam::bench

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "sitest/io.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -74,12 +75,16 @@ std::optional<SiWorkload> load_workload(const Soc& soc,
   for (const int parts : config.groupings) {
     const auto path = group_file(directory, key, parts);
     std::ifstream in(path);
-    if (!in) return std::nullopt;
+    if (!in) {
+      SITAM_COUNTER("core.cache.workload_misses", 1);
+      return std::nullopt;
+    }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     test_sets.push_back(test_set_from_text(buffer.str()));
   }
   SITAM_INFO << "cache hit: " << key << " from " << directory;
+  SITAM_COUNTER("core.cache.workload_hits", 1);
   return SiWorkload::from_prepared(soc, config, std::move(test_sets));
 }
 

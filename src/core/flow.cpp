@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.h"
 #include "pattern/compaction.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -33,8 +34,12 @@ SiWorkload SiWorkload::prepare(const Soc& soc,
 
   SiWorkload workload(soc, config);
   Rng rng(config.seed);
-  const std::vector<SiPattern> raw = generate_random_patterns(
-      workload.terminals_, config.pattern_count, config.patterns, rng);
+  std::vector<SiPattern> raw;
+  {
+    SITAM_TRACE_SPAN_ARG("flow.workload.generate", config.pattern_count);
+    raw = generate_random_patterns(workload.terminals_, config.pattern_count,
+                                   config.patterns, rng);
+  }
 
   GroupingConfig grouping = config.grouping;
   grouping.bus_width = std::max(grouping.bus_width, config.patterns.bus_width);
@@ -54,6 +59,7 @@ SiWorkload SiWorkload::prepare(const Soc& soc,
     futures.reserve(config.groupings.size());
     for (const int parts : config.groupings) {
       futures.push_back(std::async(std::launch::async, [&, parts] {
+        SITAM_TRACE_SPAN_ARG("flow.workload.compact", parts);
         return build_si_test_set(raw, workload.terminals_, parts, grouping);
       }));
     }
@@ -62,6 +68,7 @@ SiWorkload SiWorkload::prepare(const Soc& soc,
     }
   } else {
     for (const int parts : config.groupings) {
+      SITAM_TRACE_SPAN_ARG("flow.workload.compact", parts);
       workload.test_sets_.push_back(
           build_si_test_set(raw, workload.terminals_, parts, grouping));
     }
@@ -134,6 +141,7 @@ ExperimentOutcome run_experiment(const SiWorkload& workload, int w_max,
   // architecture is scored against every grouping's SI tests; the best
   // grouping is credited to the baseline (most charitable reading).
   {
+    SITAM_TRACE_SPAN_ARG("flow.experiment.baseline", w_max);
     static const SiTestSet kNoTests{};
     const OptimizeResult intest_only =
         optimize_tam(soc, table, kNoTests, w_max, config);
@@ -150,6 +158,7 @@ ExperimentOutcome run_experiment(const SiWorkload& workload, int w_max,
   // T_g_i: the SI-aware optimizer per grouping.
   outcome.t_min = std::numeric_limits<std::int64_t>::max();
   for (const int parts : workload.groupings()) {
+    SITAM_TRACE_SPAN_ARG("flow.experiment.grouping", parts);
     OptimizeResult result =
         optimize_tam(soc, table, workload.tests(parts), w_max, config);
     if (result.evaluation.t_soc < outcome.t_min) {
@@ -170,6 +179,7 @@ SweepResult run_sweep(const SiWorkload& workload,
   sweep.groupings = workload.groupings();
   for (const int w : widths) {
     SITAM_INFO << "sweep " << sweep.soc_name << ": W_max=" << w;
+    SITAM_TRACE_SPAN_ARG("flow.sweep.width", w);
     sweep.rows.push_back(run_experiment(workload, w, config));
   }
   return sweep;

@@ -68,6 +68,11 @@ std::string describe_evaluation(const TamArchitecture& arch,
 }
 
 std::string render_evaluator_stats(const EvaluatorStats& stats) {
+  if (stats.evaluations == 0) {
+    // Distinct empty-stats string: no hit-rate arithmetic on an empty
+    // denominator and no misleading "0.0 % avoided" figure.
+    return "0 evaluations (evaluator never invoked)";
+  }
   std::ostringstream os;
   os << stats.evaluations << " evaluations: " << stats.cache_hits
      << " memo hits + " << stats.delta_hits << " delta hits + "

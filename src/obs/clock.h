@@ -1,0 +1,25 @@
+// The single clock source for the tracing subsystem.
+//
+// Every obs timestamp is "nanoseconds since the process trace epoch" (the
+// first call to trace_now_ns in the process), derived from the repo's one
+// blessed monotonic clock, sitam::Stopwatch. Nothing else in src/obs may
+// read a clock: sitam-lint rule SL011 bans direct <chrono> use in src/obs
+// outside this shim, and SL002 continues to ban wall-clock reads
+// everywhere, so results can never depend on time observed here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stopwatch.h"
+
+namespace sitam::obs {
+
+/// Nanoseconds since the process trace epoch. Monotonic non-decreasing
+/// (Stopwatch wraps std::chrono::steady_clock, and double→ns conversion
+/// preserves ordering; double keeps full ns precision for ~100 days).
+[[nodiscard]] inline std::int64_t trace_now_ns() noexcept {
+  static const Stopwatch epoch;  // armed on first use, process-wide
+  return static_cast<std::int64_t>(epoch.seconds() * 1e9);
+}
+
+}  // namespace sitam::obs

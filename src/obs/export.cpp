@@ -1,0 +1,165 @@
+#include "obs/export.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "obs/manifest.h"
+#include "obs/obs.h"
+#include "util/json.h"
+#include "util/log.h"
+
+namespace sitam::obs {
+
+namespace {
+
+constexpr double kNsPerUs = 1e3;
+
+void write_event_header(JsonWriter& json, const char* ph, int tid) {
+  json.kv("ph", ph);
+  json.kv("pid", 1);
+  json.kv("tid", tid);
+}
+
+}  // namespace
+
+void write_chrome_trace(JsonWriter& json, const TraceDump& dump,
+                        const RunManifest& manifest) {
+  json.begin_object();
+  json.kv("displayTimeUnit", "ms");
+  json.key("manifest");
+  manifest.write(json);
+  json.key("traceEvents").begin_array();
+
+  json.begin_object();
+  write_event_header(json, "M", 0);
+  json.kv("name", "process_name");
+  json.key("args").begin_object();
+  json.kv("name", "sitam");
+  json.end_object();
+  json.end_object();
+
+  for (const TrackDump& track : dump.tracks) {
+    json.begin_object();
+    write_event_header(json, "M", track.tid);
+    json.kv("name", "thread_name");
+    json.key("args").begin_object();
+    json.kv("name", track.label);
+    json.end_object();
+    json.end_object();
+  }
+
+  for (const TrackDump& track : dump.tracks) {
+    for (const SpanEvent& span : track.spans) {
+      json.begin_object();
+      write_event_header(json, "X", track.tid);
+      json.kv("name", span.name);
+      json.kv("cat", "sitam");
+      json.kv("ts", static_cast<double>(span.begin_ns) / kNsPerUs);
+      json.kv("dur",
+              static_cast<double>(span.end_ns - span.begin_ns) / kNsPerUs);
+      if (span.arg != kNoSpanArg) {
+        json.key("args").begin_object();
+        json.kv("arg", span.arg);
+        json.end_object();
+      }
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string chrome_trace_json(const TraceDump& dump,
+                              const RunManifest& manifest) {
+  JsonWriter json;
+  write_chrome_trace(json, dump, manifest);
+  return json.str();
+}
+
+void write_metrics_json(JsonWriter& json, const TraceDump& dump,
+                        const RunManifest& manifest) {
+  json.begin_object();
+  json.key("manifest");
+  manifest.write(json);
+
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : dump.metrics.counters) {
+    json.kv(name, value);
+  }
+  json.end_object();
+
+  json.key("histograms").begin_object();
+  for (const auto& [name, histogram] : dump.metrics.histograms) {
+    json.key(name).begin_object();
+    json.kv("count", histogram.count);
+    json.kv("sum", histogram.sum);
+    json.kv("min", histogram.min);
+    json.kv("max", histogram.max);
+    json.kv("mean", histogram.mean());
+    // Bucket b covers values with bit width b: [2^(b-1), 2^b).
+    json.key("buckets").begin_array();
+    for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+      if (histogram.buckets[b] == 0) continue;
+      json.begin_object();
+      json.kv("pow2", static_cast<std::int64_t>(b));
+      json.kv("count", histogram.buckets[b]);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+
+  json.kv("dropped_spans", dump.metrics.dropped_spans);
+  json.end_object();
+}
+
+std::string metrics_json(const TraceDump& dump, const RunManifest& manifest) {
+  JsonWriter json;
+  write_metrics_json(json, dump, manifest);
+  return json.str();
+}
+
+bool write_text_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) {
+    SITAM_WARN << "cannot write " << path;
+    return false;
+  }
+  return true;
+}
+
+TraceEmitter::TraceEmitter(std::string trace_path, std::string metrics_path,
+                           RunManifest manifest)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)),
+      manifest_(std::move(manifest)) {
+  if (!trace_path_.empty() || !metrics_path_.empty()) {
+    session_.emplace();
+  }
+}
+
+TraceEmitter::~TraceEmitter() { finish(); }
+
+bool TraceEmitter::finish() {
+  if (finished_) return ok_;
+  finished_ = true;
+  if (!session_) return ok_;
+  dump_ = session_->stop();
+  if (!trace_path_.empty()) {
+    ok_ = write_text_file(trace_path_, chrome_trace_json(dump_, manifest_)) &&
+          ok_;
+    SITAM_INFO << "trace written to " << trace_path_ << " ("
+               << dump_.tracks.size() << " tracks)";
+  }
+  if (!metrics_path_.empty()) {
+    ok_ = write_text_file(metrics_path_, metrics_json(dump_, manifest_)) &&
+          ok_;
+    SITAM_INFO << "metrics written to " << metrics_path_ << " ("
+               << dump_.metrics.counters.size() << " counters)";
+  }
+  return ok_;
+}
+
+}  // namespace sitam::obs

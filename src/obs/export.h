@@ -1,0 +1,73 @@
+// Exporters for a TraceDump: Chrome trace-event JSON (loadable in Perfetto
+// / chrome://tracing, one track per thread) and a flat metrics JSON. Both
+// embed the RunManifest under a "manifest" key. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/manifest.h"
+#include "obs/obs.h"
+
+namespace sitam {
+class JsonWriter;
+}  // namespace sitam
+
+namespace sitam::obs {
+
+/// Chrome trace-event JSON object format: {"traceEvents": [...], ...}.
+/// Spans become "X" complete events (ts/dur in microseconds) on pid 1 with
+/// one tid per recorded thread; track labels are emitted as "thread_name"
+/// metadata events.
+void write_chrome_trace(JsonWriter& json, const TraceDump& dump,
+                        const RunManifest& manifest);
+[[nodiscard]] std::string chrome_trace_json(const TraceDump& dump,
+                                            const RunManifest& manifest);
+
+/// Flat metrics document: manifest, counters (sorted by name), histograms
+/// (count/sum/min/max/mean + non-empty power-of-two buckets).
+void write_metrics_json(JsonWriter& json, const TraceDump& dump,
+                        const RunManifest& manifest);
+[[nodiscard]] std::string metrics_json(const TraceDump& dump,
+                                       const RunManifest& manifest);
+
+/// Overwrites `path` with `text`; returns false (after logging a warning)
+/// when the file cannot be written.
+bool write_text_file(const std::string& path, std::string_view text);
+
+/// RAII wiring for the standard `--trace-out=` / `--metrics-out=` flags:
+/// starts a TraceSession iff at least one output path is non-empty, and on
+/// finish() (or destruction) stops the session and writes the requested
+/// files with `manifest` embedded. With both paths empty this is inert —
+/// no session starts, so instrumentation stays on its no-op fast path.
+class TraceEmitter {
+ public:
+  TraceEmitter(std::string trace_path, std::string metrics_path,
+               RunManifest manifest);
+  TraceEmitter(const TraceEmitter&) = delete;
+  TraceEmitter& operator=(const TraceEmitter&) = delete;
+  ~TraceEmitter();
+
+  [[nodiscard]] bool active() const { return session_.has_value(); }
+  [[nodiscard]] RunManifest& manifest() { return manifest_; }
+
+  /// Stops the session and writes the requested files. Idempotent;
+  /// returns false if any file could not be written.
+  bool finish();
+
+  /// The harvested dump; meaningful after finish().
+  [[nodiscard]] const TraceDump& dump() const { return dump_; }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  RunManifest manifest_;
+  std::optional<TraceSession> session_;
+  TraceDump dump_;
+  bool finished_ = false;
+  bool ok_ = true;
+};
+
+}  // namespace sitam::obs

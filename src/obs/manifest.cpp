@@ -1,0 +1,52 @@
+#include "obs/manifest.h"
+
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+// Baked in by src/obs/CMakeLists.txt; the fallbacks keep non-CMake builds
+// (and IDE indexers) compiling.
+#ifndef SITAM_GIT_DESCRIBE
+#define SITAM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SITAM_BUILD_TYPE
+#define SITAM_BUILD_TYPE "unknown"
+#endif
+#ifndef SITAM_SANITIZE_NAME
+#define SITAM_SANITIZE_NAME ""
+#endif
+
+namespace sitam::obs {
+
+RunManifest RunManifest::collect(std::string program_name) {
+  // Keep only the basename: manifests from ./build/bench/foo and an
+  // installed foo must compare equal.
+  const std::size_t slash = program_name.find_last_of("/\\");
+  if (slash != std::string::npos) program_name.erase(0, slash + 1);
+  RunManifest manifest;
+  manifest.program = std::move(program_name);
+  manifest.build_type = SITAM_BUILD_TYPE;
+  manifest.sanitizer = SITAM_SANITIZE_NAME;
+  manifest.git_describe = SITAM_GIT_DESCRIBE;
+  manifest.hardware_threads = ThreadPool::hardware_threads();
+  return manifest;
+}
+
+void RunManifest::write(JsonWriter& json) const {
+  json.begin_object();
+  json.kv("program", program);
+  if (!scenario.empty()) json.kv("scenario", scenario);
+  json.kv("seed", static_cast<std::int64_t>(seed));
+  json.kv("threads", threads);
+  json.kv("build_type", build_type);
+  if (!sanitizer.empty()) json.kv("sanitizer", sanitizer);
+  json.kv("git_describe", git_describe);
+  json.kv("hardware_threads", hardware_threads);
+  if (!extra.empty()) {
+    json.key("config").begin_object();
+    for (const auto& [key, value] : extra) json.kv(key, value);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace sitam::obs

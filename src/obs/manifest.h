@@ -1,0 +1,42 @@
+// Unified run manifest: the reproducibility header every trace, metrics,
+// and BENCH_*.json file embeds under a common "manifest" key — which
+// binary, which config/seed/thread count, which build. Two runs whose
+// manifests match are expected to produce identical results (the
+// pipeline is deterministic for any thread count).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sitam {
+class JsonWriter;
+}  // namespace sitam
+
+namespace sitam::obs {
+
+struct RunManifest {
+  std::string program;    ///< Binary or study name, e.g. "table2_p34392".
+  std::string scenario;   ///< SOC / workload identifier, "" when n/a.
+  std::uint64_t seed = 0;
+  int threads = 0;        ///< Worker threads requested (0 = unset).
+  std::string build_type;    ///< CMAKE_BUILD_TYPE baked at compile time.
+  std::string sanitizer;     ///< SITAM_SANITIZE value, "" for plain builds.
+  std::string git_describe;  ///< `git describe --always --dirty` at configure.
+  int hardware_threads = 0;
+  /// Extra config in insertion order (pattern counts, widths, flags, ...).
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Fills program plus the build/host fields; the caller sets the rest.
+  [[nodiscard]] static RunManifest collect(std::string program_name);
+
+  void add_extra(std::string key, std::string value) {
+    extra.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Writes one JSON object (begin_object..end_object) into `json`.
+  void write(JsonWriter& json) const;
+};
+
+}  // namespace sitam::obs

@@ -1,0 +1,268 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sitam::obs {
+
+namespace detail {
+std::atomic<std::uint64_t> g_epoch{0};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread event buffers. Only the owning thread writes; other threads
+/// read only under the global mutex after the owner has quiesced (session
+/// stop with no work in flight, or the owner's own exit).
+struct ThreadState {
+  std::uint64_t epoch = 0;  ///< Session epoch the buffers belong to.
+  int tid = 0;
+  const char* label = nullptr;  ///< Role label; survives across sessions.
+  std::vector<std::int64_t> counters;      ///< Dense by metric id.
+  std::vector<HistogramData> histograms;   ///< Dense by metric id.
+  std::vector<SpanEvent> spans;
+  std::size_t span_capacity = 0;
+  std::int64_t dropped_spans = 0;
+
+  ~ThreadState();
+};
+
+struct Registry {
+  std::map<std::string, int> ids;
+  std::vector<std::string> names;
+};
+
+struct SessionState {
+  bool active = false;
+  TraceConfig config;
+  int next_tid = 0;
+  std::vector<ThreadState*> live;  ///< Threads with buffers this session.
+  // Merged data from retired (exited) threads, and at stop() from live
+  // ones.
+  std::vector<TrackDump> tracks;
+  std::vector<std::int64_t> counters;
+  std::vector<HistogramData> histograms;
+};
+
+// Function-local statics: constructed on first use, so the subsystem works
+// from static initializers, and destroyed after the main thread's
+// thread-local ThreadState.
+std::mutex& mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+SessionState& session() {
+  static SessionState s;
+  return s;
+}
+
+ThreadState& state() {
+  thread_local ThreadState s;
+  return s;
+}
+
+void merge_into_session_locked(SessionState& ses, ThreadState& s) {
+  TrackDump track;
+  track.tid = s.tid;
+  track.label =
+      s.label != nullptr ? s.label : "thread-" + std::to_string(s.tid);
+  track.spans = std::move(s.spans);
+  track.dropped_spans = s.dropped_spans;
+  ses.tracks.push_back(std::move(track));
+  if (ses.counters.size() < s.counters.size()) {
+    ses.counters.resize(s.counters.size(), 0);
+  }
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    ses.counters[i] += s.counters[i];
+  }
+  if (ses.histograms.size() < s.histograms.size()) {
+    ses.histograms.resize(s.histograms.size());
+  }
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    ses.histograms[i].merge(s.histograms[i]);
+  }
+}
+
+/// Binds `s` to the session with epoch `epoch`: assigns a track id and
+/// resets the buffers. Returns false when that session is already gone.
+bool attach(ThreadState& s, std::uint64_t epoch) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex());
+  SessionState& ses = session();
+  if (!ses.active ||
+      detail::g_epoch.load(std::memory_order_relaxed) != epoch) {
+    return false;
+  }
+  s.epoch = epoch;
+  s.tid = ++ses.next_tid;
+  s.counters.clear();
+  s.histograms.clear();
+  s.spans.clear();
+  s.span_capacity = ses.config.span_capacity_per_thread;
+  s.spans.reserve(s.span_capacity);
+  s.dropped_spans = 0;
+  ses.live.push_back(&s);
+  return true;
+}
+
+ThreadState::~ThreadState() {
+  const std::lock_guard<std::mutex> lock(mutex());
+  SessionState& ses = session();
+  if (!ses.active ||
+      epoch != detail::g_epoch.load(std::memory_order_relaxed)) {
+    return;
+  }
+  merge_into_session_locked(ses, *this);
+  std::erase(ses.live, this);
+}
+
+}  // namespace
+
+void HistogramData::record(std::int64_t value) noexcept {
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  std::size_t bucket = 0;
+  if (value > 0) {
+    const int width =
+        static_cast<int>(std::bit_width(static_cast<std::uint64_t>(value)));
+    bucket = static_cast<std::size_t>(std::min(width, 63));
+  }
+  ++buckets[bucket];
+}
+
+void HistogramData::merge(const HistogramData& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+namespace detail {
+
+int intern_metric(const char* name) {
+  const std::lock_guard<std::mutex> lock(mutex());
+  Registry& reg = registry();
+  const auto [it, inserted] =
+      reg.ids.emplace(name, static_cast<int>(reg.names.size()));
+  if (inserted) reg.names.emplace_back(name);
+  return it->second;
+}
+
+void counter_add(int id, std::int64_t delta) noexcept {
+  const std::uint64_t e = g_epoch.load(std::memory_order_relaxed);
+  if ((e & 1U) == 0U) return;
+  ThreadState& s = state();
+  if (s.epoch != e && !attach(s, e)) return;
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= s.counters.size()) s.counters.resize(idx + 1, 0);
+  s.counters[idx] += delta;
+}
+
+void histogram_record(int id, std::int64_t value) noexcept {
+  const std::uint64_t e = g_epoch.load(std::memory_order_relaxed);
+  if ((e & 1U) == 0U) return;
+  ThreadState& s = state();
+  if (s.epoch != e && !attach(s, e)) return;
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= s.histograms.size()) s.histograms.resize(idx + 1);
+  s.histograms[idx].record(value);
+}
+
+void span_close(const char* name, std::int64_t begin_ns, std::int64_t arg,
+                std::uint64_t epoch) noexcept {
+  if (g_epoch.load(std::memory_order_relaxed) != epoch) return;
+  const std::int64_t end_ns = trace_now_ns();
+  ThreadState& s = state();
+  if (s.epoch != epoch && !attach(s, epoch)) return;
+  if (s.spans.size() < s.span_capacity) {
+    s.spans.push_back(SpanEvent{name, begin_ns, end_ns, arg});
+  } else {
+    ++s.dropped_spans;
+  }
+}
+
+}  // namespace detail
+
+void set_current_thread_label(const char* label) noexcept {
+  state().label = label;
+}
+
+TraceSession::TraceSession(TraceConfig config) {
+  const std::lock_guard<std::mutex> lock(mutex());
+  SessionState& ses = session();
+  SITAM_CHECK_MSG(!ses.active, "only one TraceSession may be active");
+  ses = SessionState{};
+  ses.active = true;
+  ses.config = config;
+  detail::g_epoch.fetch_add(1, std::memory_order_relaxed);  // even -> odd
+}
+
+TraceSession::~TraceSession() {
+  if (!stopped_) static_cast<void>(stop());
+}
+
+TraceDump TraceSession::stop() {
+  SITAM_CHECK_MSG(!stopped_, "TraceSession::stop called twice");
+  stopped_ = true;
+
+  const std::lock_guard<std::mutex> lock(mutex());
+  SessionState& ses = session();
+  detail::g_epoch.fetch_add(1, std::memory_order_relaxed);  // odd -> even
+  for (ThreadState* s : ses.live) merge_into_session_locked(ses, *s);
+  ses.live.clear();
+  ses.active = false;
+
+  TraceDump dump;
+  dump.tracks = std::move(ses.tracks);
+  std::sort(dump.tracks.begin(), dump.tracks.end(),
+            [](const TrackDump& a, const TrackDump& b) {
+              return a.tid < b.tid;
+            });
+  for (TrackDump& track : dump.tracks) {
+    // Chrome's viewer nests slices correctly when a track's events are
+    // ordered by begin time with enclosing (longer) spans first.
+    std::stable_sort(track.spans.begin(), track.spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       if (a.begin_ns != b.begin_ns) {
+                         return a.begin_ns < b.begin_ns;
+                       }
+                       return a.end_ns > b.end_ns;
+                     });
+    dump.metrics.dropped_spans += track.dropped_spans;
+  }
+  const Registry& reg = registry();
+  for (std::size_t i = 0; i < ses.counters.size(); ++i) {
+    if (ses.counters[i] != 0) {
+      dump.metrics.counters[reg.names[i]] = ses.counters[i];
+    }
+  }
+  for (std::size_t i = 0; i < ses.histograms.size(); ++i) {
+    if (ses.histograms[i].count != 0) {
+      dump.metrics.histograms[reg.names[i]] = ses.histograms[i];
+    }
+  }
+  ses.counters.clear();
+  ses.histograms.clear();
+  return dump;
+}
+
+}  // namespace sitam::obs

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "pattern/packed.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -202,11 +203,19 @@ CompactionResult compact_greedy(std::span<const SiPattern> patterns,
       }
     }
     result.patterns.push_back(acc.to_pattern());
+    // Rejects this round == candidates the sweep could not merge into the
+    // seed; the histogram shape shows how quickly rounds drain.
+    SITAM_COUNTER("pattern.compaction.rounds", 1);
+    SITAM_HISTOGRAM("pattern.compaction.sweep_rejects", leftover.size());
     std::swap(alive, leftover);
   }
 
   result.stats.compacted_count = result.patterns.size();
   result.stats.seconds = watch.seconds();
+  SITAM_COUNTER("pattern.compaction.patterns_in",
+                result.stats.original_count);
+  SITAM_COUNTER("pattern.compaction.patterns_out",
+                result.stats.compacted_count);
   return result;
 }
 

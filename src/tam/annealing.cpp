@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "tam/delta.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -113,6 +114,8 @@ OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
                          const SiTestSet& tests, int w_max,
                          const AnnealingConfig& config,
                          const TamArchitecture& start, std::uint64_t seed) {
+  SITAM_TRACE_SPAN("tam.annealing.chain");
+  SITAM_COUNTER("tam.annealing.chains", 1);
   const TamEvaluator evaluator(soc, table, tests, config.evaluator);
   DeltaEvaluator incremental(evaluator);
   const auto score = [&](const TamArchitecture& arch) {
@@ -182,6 +185,7 @@ OptimizeResult optimize_tam_annealing(const Soc& soc,
   EvaluatorStats warm_start_stats;
   TamArchitecture start;
   if (config.warm_start) {
+    SITAM_TRACE_SPAN("tam.annealing.warm_start");
     OptimizerConfig alg2;
     alg2.evaluator = config.evaluator;
     alg2.threads = config.threads;

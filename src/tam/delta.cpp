@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
 #include "tam/schedule.h"
 #include "tam/verify.h"
 #include "util/check.h"
@@ -68,6 +69,7 @@ EvaluatorStats DeltaEvaluator::stats() const {
 bool DeltaEvaluator::try_delta(const TamArchitecture& arch) {
   if (!has_base_) {
     ++breakdown_.no_base;
+    SITAM_COUNTER("tam.delta.fallback_no_base", 1);
     return false;
   }
   const std::size_t rail_count = arch.rails.size();
@@ -108,6 +110,7 @@ bool DeltaEvaluator::try_delta(const TamArchitecture& arch) {
   }
   if (dirty_rails > options_.max_dirty_rails) {
     ++breakdown_.dirty_fallbacks;
+    SITAM_COUNTER("tam.delta.fallback_dirty_budget", 1);
     return false;
   }
 
@@ -128,6 +131,9 @@ bool DeltaEvaluator::try_delta(const TamArchitecture& arch) {
       ++local_.evaluations;
       ++local_.delta_hits;
       ++breakdown_.delta_hits;
+      SITAM_COUNTER("tam.evaluator.evaluations", 1);
+      SITAM_COUNTER("tam.evaluator.delta_hits", 1);
+      SITAM_COUNTER("tam.delta.identity_hits", 1);
       return true;
     }
   }
@@ -253,6 +259,7 @@ bool DeltaEvaluator::try_delta(const TamArchitecture& arch) {
   }
   if (!same_order) {
     ++breakdown_.order_fallbacks;
+    SITAM_COUNTER("tam.delta.fallback_order_change", 1);
     return false;
   }
 
@@ -287,11 +294,14 @@ bool DeltaEvaluator::try_delta(const TamArchitecture& arch) {
   ++local_.evaluations;
   ++local_.delta_hits;
   ++breakdown_.delta_hits;
+  SITAM_COUNTER("tam.evaluator.evaluations", 1);
+  SITAM_COUNTER("tam.evaluator.delta_hits", 1);
   return true;
 }
 
 void DeltaEvaluator::rebase(const TamArchitecture& arch) {
   ++breakdown_.rebases;
+  SITAM_COUNTER("tam.delta.rebases", 1);
   // Full path through the wrapped evaluator — its memo cache is the L2
   // behind the delta path, so a revisited architecture is still answered
   // without a ScheduleSITest run.

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "tam/schedule.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -175,8 +176,10 @@ std::uint64_t TamEvaluator::architecture_hash(const TamArchitecture& arch,
 
 Evaluation TamEvaluator::evaluate(const TamArchitecture& arch) const {
   ++stats_.evaluations;
+  SITAM_COUNTER("tam.evaluator.evaluations", 1);
   if (!options_.memoize) {
     ++stats_.cache_misses;
+    SITAM_COUNTER("tam.evaluator.cache_misses", 1);
     return evaluate_uncached(arch);
   }
   return memo_lookup(arch).evaluation;
@@ -184,8 +187,10 @@ Evaluation TamEvaluator::evaluate(const TamArchitecture& arch) const {
 
 std::int64_t TamEvaluator::t_soc(const TamArchitecture& arch) const {
   ++stats_.evaluations;
+  SITAM_COUNTER("tam.evaluator.evaluations", 1);
   if (!options_.memoize) {
     ++stats_.cache_misses;
+    SITAM_COUNTER("tam.evaluator.cache_misses", 1);
     return evaluate_uncached(arch).t_soc;
   }
   // This is the optimizers' inner-loop call: a hit costs one dual-hash
@@ -195,14 +200,17 @@ std::int64_t TamEvaluator::t_soc(const TamArchitecture& arch) const {
   if (const auto it = scalar_memo_.find(hash.key);
       it != scalar_memo_.end() && it->second.check == hash.check) {
     ++stats_.cache_hits;
+    SITAM_COUNTER("tam.evaluator.cache_hits", 1);
     return it->second.t_soc;
   }
   if (const auto it = memo_.find(hash.key);
       it != memo_.end() && it->second.check == hash.check) {
     ++stats_.cache_hits;
+    SITAM_COUNTER("tam.evaluator.cache_hits", 1);
     return it->second.evaluation.t_soc;
   }
   ++stats_.cache_misses;
+  SITAM_COUNTER("tam.evaluator.cache_misses", 1);
   const std::int64_t t = evaluate_uncached(arch).t_soc;
   if (scalar_memo_.size() >= kMemoCapacity) scalar_memo_.clear();
   scalar_memo_.emplace(hash.key, ScalarEntry{hash.check, t});
@@ -215,9 +223,11 @@ const TamEvaluator::MemoEntry& TamEvaluator::memo_lookup(
   if (const auto it = memo_.find(hash.key);
       it != memo_.end() && it->second.check == hash.check) {
     ++stats_.cache_hits;
+    SITAM_COUNTER("tam.evaluator.cache_hits", 1);
     return it->second;
   }
   ++stats_.cache_misses;
+  SITAM_COUNTER("tam.evaluator.cache_misses", 1);
   Evaluation ev = evaluate_uncached(arch);
   if (memo_.size() >= kMemoCapacity) memo_.clear();
   return memo_[hash.key] = MemoEntry{hash.check, std::move(ev)};

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "tam/delta.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -366,6 +367,8 @@ namespace {
 OptimizeResult run_restart(const Soc& soc, const TestTimeTable& table,
                            const SiTestSet& tests, int w_max,
                            const OptimizerConfig& config, int index) {
+  SITAM_TRACE_SPAN_ARG("tam.optimizer.restart", index);
+  SITAM_COUNTER("tam.optimizer.restarts", 1);
   std::vector<int> order(static_cast<std::size_t>(soc.core_count()));
   std::iota(order.begin(), order.end(), 0);
   if (index > 0) {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "wrapper/pareto.h"
 
@@ -27,6 +28,8 @@ PackingResult pack_in_order(const Soc& soc, int w_max,
   std::vector<std::int64_t> wire_free(static_cast<std::size_t>(w_max), 0);
   PackingResult result;
   result.slots.reserve(order.size());
+  SITAM_COUNTER("tam.rectpack.orders_packed", 1);
+  SITAM_COUNTER("tam.rectpack.cores_placed", order.size());
 
   for (const int core : order) {
     // Candidate widths: the core's Pareto front clipped to w_max (any other
@@ -118,6 +121,7 @@ PackingResult pack_intest_rectangles(const Soc& soc,
   // Local descent: hoist the makespan-defining core to the front of the
   // order and repack; its placement then has first pick of the wires.
   for (int round = 0; round < 2 * soc.core_count(); ++round) {
+    SITAM_COUNTER("tam.rectpack.descent_rounds", 1);
     int critical = -1;
     for (const PackedCore& slot : best.slots) {
       if (slot.end == best.makespan) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace sitam {
 
 ThreadPool::ThreadPool(int threads) {
@@ -33,19 +35,26 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::enqueue(std::function<void()> wrapped) {
+  QueuedTask task;
+  task.run = std::move(wrapped);
+  if (obs::active()) task.enqueued_ns = obs::trace_now_ns();
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) {
       throw std::runtime_error("ThreadPool: submit after shutdown");
     }
-    queue_.push_back(std::move(wrapped));
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   ready_.notify_one();
+  SITAM_HISTOGRAM("util.thread_pool.queue_depth", depth);
 }
 
 void ThreadPool::worker_loop() {
+  obs::set_current_thread_label("pool-worker");
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock,
@@ -54,7 +63,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task captures any exception in its future
+    if (task.enqueued_ns >= 0) {
+      SITAM_HISTOGRAM("util.thread_pool.task_wait_ns",
+                      obs::trace_now_ns() - task.enqueued_ns);
+    }
+    SITAM_TRACE_SPAN("util.thread_pool.task");
+    task.run();  // packaged_task captures any exception in its future
   }
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -64,11 +65,18 @@ class ThreadPool {
   }
 
  private:
+  /// Queued task plus its enqueue timestamp when a trace session was
+  /// active (-1 otherwise), so workers can report wait latency to obs.
+  struct QueuedTask {
+    std::function<void()> run;
+    std::int64_t enqueued_ns = -1;
+  };
+
   void enqueue(std::function<void()> wrapped);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool shutting_down_ = false;

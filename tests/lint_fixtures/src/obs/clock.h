@@ -1,0 +1,14 @@
+// Fixture: the clock shim itself is exempt from both SL011 and SL002 —
+// it mirrors src/obs/clock.h, the single blessed time source for tracing.
+#pragma once
+
+#include <chrono>
+
+namespace sitam::obs {
+
+inline long long fixture_now_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace sitam::obs

@@ -1,0 +1,12 @@
+// Fixture: SL011 must fire on direct std::chrono use in src/obs outside
+// the clock shim (src/obs/clock.h).
+#include <chrono>
+
+namespace sitam::obs {
+
+long span_begin() {
+  using clock = std::chrono::steady_clock;         // line 8: SL011
+  return clock::now().time_since_epoch().count();  // line 9: SL002
+}
+
+}  // namespace sitam::obs

@@ -29,13 +29,13 @@ std::filesystem::path fixtures_root() {
 
 }  // namespace
 
-TEST(LintRules, CatalogueHasTenStableIds) {
+TEST(LintRules, CatalogueHasElevenStableIds) {
   const auto rules = lint::rules();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(rules[i].id, "SL0" + std::to_string(i < 9 ? 0 : 1) +
-                               std::to_string((i + 1) % 10))
-        << "rule ids must be SL001..SL010 in order";
+    const std::string id = i + 1 < 10 ? "SL00" + std::to_string(i + 1)
+                                      : "SL0" + std::to_string(i + 1);
+    EXPECT_EQ(rules[i].id, id) << "rule ids must be SL001..SL011 in order";
   }
 }
 
@@ -64,9 +64,36 @@ TEST(LintRules, WallClockOnlyInStopwatchAndLog) {
       lint::lint_source("src/util/stopwatch.h", "#pragma once\n" + text)
           .empty());
   EXPECT_TRUE(lint::lint_source("src/util/log.cpp", text).empty());
+  EXPECT_TRUE(
+      lint::lint_source("src/obs/clock.h", "#pragma once\n" + text).empty());
   const auto findings = lint::lint_source("bench/table_common.cpp", text);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "SL002");
+}
+
+TEST(LintRules, ObsChronoOnlyInClockShim) {
+  // Any mention of std::chrono in src/obs outside the shim: SL011.
+  const auto findings = lint::lint_source(
+      "src/obs/export.cpp",
+      "#include <chrono>\n"
+      "long us() { return std::chrono::microseconds(1).count(); }\n");
+  EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{"SL011", "SL011"}));
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+
+  // The shim is the single blessed source (also exempt from SL002).
+  EXPECT_TRUE(lint::lint_source(
+                  "src/obs/clock.h",
+                  "#pragma once\n"
+                  "#include <chrono>\n"
+                  "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+
+  // SL011 is scoped to src/obs: <chrono> alone elsewhere is fine.
+  EXPECT_TRUE(
+      lint::lint_source("src/util/x.cpp", "#include <chrono>\n").empty());
+  EXPECT_TRUE(
+      lint::lint_source("tests/obs_test.cpp", "#include <chrono>\n").empty());
 }
 
 TEST(LintRules, PointerKeyedContainers) {
@@ -263,6 +290,9 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereSeeded) {
       {"src/hypergraph/sl010_random.cpp", 2, "SL010"},
       {"src/hypergraph/sl010_random.cpp", 7, "SL010"},
       {"src/hypergraph/sl010_random.cpp", 8, "SL010"},
+      {"src/obs/sl011_chrono.cpp", 3, "SL011"},
+      {"src/obs/sl011_chrono.cpp", 8, "SL011"},
+      {"src/obs/sl011_chrono.cpp", 9, "SL002"},
       {"src/pattern/sl008_includes.cpp", 2, "SL008"},
       {"src/pattern/sl008_includes.cpp", 3, "SL008"},
       {"src/soc/sl007_using.h", 6, "SL007"},
@@ -355,6 +385,28 @@ TEST(LintRepo, DeltaEvaluationTusNeedNoExemptions) {
   // directives and zero allowlist entries cover these files.
   EXPECT_TRUE(report.suppressed.empty());
   EXPECT_EQ(report.files_scanned, 6);
+}
+
+// The tracing subsystem is blessed explicitly, not via the allowlist: every
+// TU in src/obs must lint clean with zero inline directives and zero
+// allowlist entries. In particular SL011 keeps all time reads behind the
+// clock shim and SL004 keeps the exporters on ordered containers, so traces
+// and metrics files are byte-stable for a given run.
+TEST(LintRepo, ObsTusNeedNoExemptions) {
+  lint::Options options;
+  options.root = std::filesystem::path(SITAM_REPO_ROOT);
+  const auto obs_dir = options.root / "src/obs";
+  ASSERT_TRUE(std::filesystem::is_directory(obs_dir)) << obs_dir;
+  options.paths = {obs_dir};
+  const lint::Report report = lint::run(options);
+  std::string listing;
+  for (const auto& f : report.findings) {
+    listing += f.file + ":" + std::to_string(f.line) + ": [" + f.rule +
+               "] " + f.message + "\n";
+  }
+  EXPECT_TRUE(report.findings.empty()) << listing;
+  EXPECT_TRUE(report.suppressed.empty());
+  EXPECT_GE(report.files_scanned, 8);
 }
 
 // The real tree must lint clean — the same gate as the `lint_repo` ctest,

@@ -40,6 +40,9 @@ constexpr Rule kRules[] = {
     {"SL010",
      "implementation-defined <random> facility (distributions, "
      "std::shuffle/std::sample, engines) outside src/util/rng.*"},
+    {"SL011",
+     "direct std::chrono use in src/obs outside the clock shim "
+     "(src/obs/clock.h); trace timestamps flow through obs::trace_now_ns()"},
 };
 
 bool ident_char(char c) {
@@ -299,7 +302,8 @@ struct Context {
 void check_rng_and_clock(Context& ctx) {
   const bool rng_exempt = starts_with(ctx.path, "src/util/rng.");
   const bool clock_exempt = ctx.path == "src/util/stopwatch.h" ||
-                            ctx.path == "src/util/log.cpp";
+                            ctx.path == "src/util/log.cpp" ||
+                            ctx.path == "src/obs/clock.h";
   for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
     const std::string& line = ctx.file.code[li];
     if (!rng_exempt) {
@@ -807,6 +811,23 @@ void check_float(Context& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SL011 — src/obs takes timestamps only through its clock shim.
+
+void check_obs_clock(Context& ctx) {
+  const bool in_scope =
+      starts_with(ctx.path, "src/obs/") && ctx.path != "src/obs/clock.h";
+  if (!in_scope) return;
+  for (std::size_t li = 0; li < ctx.file.code.size(); ++li) {
+    if (has_word(ctx.file.code[li], "chrono")) {
+      ctx.emit(li, "SL011",
+               "std::chrono in src/obs outside the clock shim; take "
+               "timestamps from obs::trace_now_ns() (src/obs/clock.h) so "
+               "every trace event shares one monotonic epoch");
+    }
+  }
+}
+
 std::string normalize(const std::filesystem::path& p) {
   std::string s = p.generic_string();
   while (starts_with(s, "./")) s = s.substr(2);
@@ -837,6 +858,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_header_rules(ctx);
   check_includes(ctx);
   check_float(ctx);
+  check_obs_clock(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -17,6 +17,7 @@
 #include "core/flow.h"
 #include "core/gantt.h"
 #include "core/report.h"
+#include "obs/export.h"
 #include "soc/benchmarks.h"
 #include "soc/itc02.h"
 #include "soc/parser.h"
@@ -189,6 +190,20 @@ void architecture_json(JsonWriter& json, const TamArchitecture& arch,
   json.end_array();
 }
 
+/// Standard --trace-out/--metrics-out wiring for the commands that run the
+/// optimization pipeline; inert when neither flag is present.
+obs::TraceEmitter trace_emitter(const CliArgs& args, const std::string& soc,
+                                std::uint64_t seed, int threads) {
+  obs::RunManifest manifest =
+      obs::RunManifest::collect("sitam " + args.program());
+  manifest.scenario = soc;
+  manifest.seed = seed;
+  manifest.threads = threads;
+  return obs::TraceEmitter(args.get_or("trace-out", std::string()),
+                           args.get_or("metrics-out", std::string()),
+                           std::move(manifest));
+}
+
 OptimizerConfig optimizer_config(const CliArgs& args) {
   OptimizerConfig config;
   config.restarts =
@@ -223,13 +238,17 @@ int cmd_optimize(const CliArgs& args) {
   config.groupings = {parts};
   config.seed = static_cast<std::uint64_t>(
       args.get_or("seed", std::int64_t{0x20070604}));
+  const OptimizerConfig optimizer = optimizer_config(args);
+  obs::TraceEmitter emitter =
+      trace_emitter(args, soc.name, config.seed, optimizer.threads);
   const SiWorkload workload = SiWorkload::prepare(soc, config);
   const SiTestSet& tests = workload.tests(parts);
   const TestTimeTable table(soc, w_max);
   const OptimizeResult result =
-      optimize_tam(soc, table, tests, w_max, optimizer_config(args));
+      optimize_tam(soc, table, tests, w_max, optimizer);
   const LowerBounds bounds = lower_bounds(soc, table, tests, w_max);
   const WrapperArea area = soc_wrapper_area(soc, result.architecture);
+  if (!emitter.finish()) return 1;
 
   if (args.has("json")) {
     JsonWriter json;
@@ -328,12 +347,15 @@ int cmd_sweep(const CliArgs& args) {
   config.pattern_count = args.get_or("nr", std::int64_t{10000});
   config.seed = static_cast<std::uint64_t>(
       args.get_or("seed", std::int64_t{0x20070604}));
+  const OptimizerConfig optimizer = optimizer_config(args);
+  obs::TraceEmitter emitter =
+      trace_emitter(args, soc.name, config.seed, optimizer.threads);
   const SiWorkload workload = SiWorkload::prepare(soc, config);
   const auto width_args =
       args.get_list_or("widths", {8, 16, 24, 32, 40, 48, 56, 64});
   const std::vector<int> widths(width_args.begin(), width_args.end());
-  const SweepResult sweep =
-      run_sweep(workload, widths, optimizer_config(args));
+  const SweepResult sweep = run_sweep(workload, widths, optimizer);
+  if (!emitter.finish()) return 1;
 
   EvaluatorStats total;
   for (const ExperimentOutcome& row : sweep.rows) {
@@ -383,8 +405,9 @@ int usage() {
          "  sweep    --soc=... [--widths=]  paper-style table\n"
          "  gantt    --soc=... --wmax=W     schedule chart [--svg=out.svg]\n"
          "  verify   --soc=... --wmax=W     optimize + independent check\n"
-         "  (optimize/sweep accept --json; optimize/sweep/verify accept\n"
-         "   --restarts=N --threads=T (0 = all cores) --no-cache --no-delta)\n";
+         "  (optimize/sweep accept --json --trace-out=F --metrics-out=F;\n"
+         "   optimize/sweep/verify accept --restarts=N --threads=T\n"
+         "   (0 = all cores) --no-cache --no-delta)\n";
   return 2;
 }
 
