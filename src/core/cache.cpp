@@ -98,4 +98,64 @@ SiWorkload prepare_cached(const Soc& soc, const SiWorkloadConfig& config,
   return workload;
 }
 
+WorkloadMemoryCache::WorkloadMemoryCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<SiWorkload> WorkloadMemoryCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    SITAM_COUNTER("core.cache.memory_misses", 1);
+    return std::nullopt;
+  }
+  it->second.last_used = ++tick_;
+  SITAM_COUNTER("core.cache.memory_hits", 1);
+  return it->second.workload;
+}
+
+void WorkloadMemoryCache::insert(const std::string& key, SiWorkload workload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry =
+      entries_.insert_or_assign(key, Entry{std::move(workload), 0})
+          .first->second;
+  entry.last_used = ++tick_;
+  while (entries_.size() > capacity_) {
+    evict_one_locked();
+  }
+}
+
+SiWorkload WorkloadMemoryCache::prepare(const Soc& soc,
+                                        const SiWorkloadConfig& config,
+                                        const std::string& directory) {
+  const std::string key = workload_cache_key(soc, config);
+  if (std::optional<SiWorkload> hit = lookup(key)) {
+    return *std::move(hit);
+  }
+  // Disk tier (prepare on a cold disk cache); promote whatever it yields.
+  SiWorkload prepared = prepare_cached(soc, config, directory);
+  insert(key, prepared);
+  return prepared;
+}
+
+std::size_t WorkloadMemoryCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void WorkloadMemoryCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+void WorkloadMemoryCache::evict_one_locked() {
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) {
+      victim = it;
+    }
+  }
+  SITAM_COUNTER("core.cache.memory_evictions", 1);
+  entries_.erase(victim);
+}
+
 }  // namespace sitam

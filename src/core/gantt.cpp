@@ -49,8 +49,9 @@ std::string ascii_si_gantt(const Evaluation& evaluation,
 
 namespace {
 
-const char* kPalette[] = {"#4c78a8", "#f58518", "#54a24b", "#e45756",
-                          "#72b7b2", "#eeca3b", "#b279a2", "#9d755d"};
+constexpr const char* kPalette[] = {"#4c78a8", "#f58518", "#54a24b",
+                                    "#e45756", "#72b7b2", "#eeca3b",
+                                    "#b279a2", "#9d755d"};
 
 }  // namespace
 

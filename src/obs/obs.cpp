@@ -5,7 +5,9 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/pool_hooks.h"
 #include "util/check.h"
+#include "util/obs_hooks.h"
 
 namespace sitam::obs {
 
@@ -37,15 +39,17 @@ struct Registry {
 };
 
 struct SessionState {
-  bool active = false;
-  TraceConfig config;
-  int next_tid = 0;
-  std::vector<ThreadState*> live;  ///< Threads with buffers this session.
   // Merged data from retired (exited) threads, and at stop() from live
-  // ones.
-  std::vector<TrackDump> tracks;
+  // ones. `counters`/`histograms` intentionally share names with
+  // ThreadState's lock-free per-thread buffers, so they stay without a
+  // guarded_by annotation (every access here is under mutex() anyway).
   std::vector<std::int64_t> counters;
   std::vector<HistogramData> histograms;
+  bool active = false;             // guarded_by(mutex())
+  TraceConfig config;              // guarded_by(mutex())
+  int next_tid = 0;                // guarded_by(mutex())
+  std::vector<ThreadState*> live;  // guarded_by(mutex())
+  std::vector<TrackDump> tracks;   // guarded_by(mutex())
 };
 
 // Function-local statics: constructed on first use, so the subsystem works
@@ -104,6 +108,9 @@ bool attach(ThreadState& s, std::uint64_t epoch) noexcept {
   }
   s.epoch = epoch;
   s.tid = ++ses.next_tid;
+  // util threads can't call set_current_thread_label (layering: util sits
+  // below obs), so they tag themselves via sitam::set_thread_role.
+  if (s.label == nullptr) s.label = thread_role();
   s.counters.clear();
   s.histograms.clear();
   s.spans.clear();
@@ -207,6 +214,10 @@ void set_current_thread_label(const char* label) noexcept {
 }
 
 TraceSession::TraceSession(TraceConfig config) {
+  // Referencing the install here (not from a global ctor in an otherwise
+  // unreferenced TU) guarantees the hooks land whenever tracing is used,
+  // even from a static library.
+  install_thread_pool_hooks();
   const std::lock_guard<std::mutex> lock(mutex());
   SessionState& ses = session();
   SITAM_CHECK_MSG(!ses.active, "only one TraceSession may be active");

@@ -1,0 +1,42 @@
+#include "obs/pool_hooks.h"
+
+#include <cstdint>
+
+#include "obs/obs.h"
+#include "util/obs_hooks.h"
+
+namespace sitam::obs {
+
+namespace {
+
+std::int64_t hook_enqueue_stamp_ns() {
+  return active() ? trace_now_ns() : std::int64_t{-1};
+}
+
+void hook_queue_depth(std::int64_t depth) {
+  SITAM_HISTOGRAM("util.thread_pool.queue_depth", depth);
+}
+
+void hook_task_dequeued(std::int64_t enqueued_ns) {
+  SITAM_HISTOGRAM("util.thread_pool.task_wait_ns",
+                  trace_now_ns() - enqueued_ns);
+}
+
+void hook_run_task(void (*run)(void*), void* ctx) {
+  SITAM_TRACE_SPAN("util.thread_pool.task");
+  run(ctx);
+}
+
+// Static storage, as util/obs_hooks.h requires; const, so no SL012.
+constexpr ThreadPoolObsHooks kHooks{
+    &hook_enqueue_stamp_ns,
+    &hook_queue_depth,
+    &hook_task_dequeued,
+    &hook_run_task,
+};
+
+}  // namespace
+
+void install_thread_pool_hooks() { install_thread_pool_obs_hooks(&kHooks); }
+
+}  // namespace sitam::obs

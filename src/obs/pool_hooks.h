@@ -1,0 +1,12 @@
+// obs-side implementation of the util::ThreadPool observability hooks
+// (see util/obs_hooks.h for why the dependency is inverted).
+#pragma once
+
+namespace sitam::obs {
+
+/// Installs the ThreadPool hook table (idempotent, thread-safe).
+/// TraceSession's constructor calls this, so any pool that runs under a
+/// trace session reports queue depth, wait latency, and task spans.
+void install_thread_pool_hooks();
+
+}  // namespace sitam::obs

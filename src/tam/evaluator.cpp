@@ -174,63 +174,84 @@ std::uint64_t TamEvaluator::architecture_hash(const TamArchitecture& arch,
   return h;
 }
 
+// Locking pattern for both memoized entry points: hash outside the lock,
+// probe + counter bumps under it, evaluate_uncached outside it (it only
+// touches the unguarded scratch), insert under a second critical section.
+// Two threads racing on the same miss both run the timing model — wasted
+// work, not wrong answers: the result is bit-identical and the second
+// insert overwrites the first with the same bytes.
+
 Evaluation TamEvaluator::evaluate(const TamArchitecture& arch) const {
-  ++stats_.evaluations;
   SITAM_COUNTER("tam.evaluator.evaluations", 1);
   if (!options_.memoize) {
-    ++stats_.cache_misses;
     SITAM_COUNTER("tam.evaluator.cache_misses", 1);
+    {
+      const std::lock_guard<std::mutex> lock(memo_mutex_);
+      ++stats_.evaluations;
+      ++stats_.cache_misses;
+    }
     return evaluate_uncached(arch);
   }
-  return memo_lookup(arch).evaluation;
+  const DualHash hash = architecture_hash_pair(arch);
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    ++stats_.evaluations;
+    if (const auto it = memo_.find(hash.key);
+        it != memo_.end() && it->second.check == hash.check) {
+      ++stats_.cache_hits;
+      SITAM_COUNTER("tam.evaluator.cache_hits", 1);
+      return it->second.evaluation;
+    }
+    ++stats_.cache_misses;
+  }
+  SITAM_COUNTER("tam.evaluator.cache_misses", 1);
+  Evaluation ev = evaluate_uncached(arch);
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (memo_.size() >= kMemoCapacity) memo_.clear();
+    memo_[hash.key] = MemoEntry{hash.check, ev};
+  }
+  return ev;
 }
 
 std::int64_t TamEvaluator::t_soc(const TamArchitecture& arch) const {
-  ++stats_.evaluations;
   SITAM_COUNTER("tam.evaluator.evaluations", 1);
   if (!options_.memoize) {
-    ++stats_.cache_misses;
     SITAM_COUNTER("tam.evaluator.cache_misses", 1);
+    {
+      const std::lock_guard<std::mutex> lock(memo_mutex_);
+      ++stats_.evaluations;
+      ++stats_.cache_misses;
+    }
     return evaluate_uncached(arch).t_soc;
   }
   // This is the optimizers' inner-loop call: a hit costs one dual-hash
   // traversal and a find, and a miss stores a 16-byte scalar entry — the
   // full-Evaluation memo is never copied into or out of here.
   const DualHash hash = architecture_hash_pair(arch);
-  if (const auto it = scalar_memo_.find(hash.key);
-      it != scalar_memo_.end() && it->second.check == hash.check) {
-    ++stats_.cache_hits;
-    SITAM_COUNTER("tam.evaluator.cache_hits", 1);
-    return it->second.t_soc;
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    ++stats_.evaluations;
+    if (const auto it = scalar_memo_.find(hash.key);
+        it != scalar_memo_.end() && it->second.check == hash.check) {
+      ++stats_.cache_hits;
+      SITAM_COUNTER("tam.evaluator.cache_hits", 1);
+      return it->second.t_soc;
+    }
+    if (const auto it = memo_.find(hash.key);
+        it != memo_.end() && it->second.check == hash.check) {
+      ++stats_.cache_hits;
+      SITAM_COUNTER("tam.evaluator.cache_hits", 1);
+      return it->second.evaluation.t_soc;
+    }
+    ++stats_.cache_misses;
   }
-  if (const auto it = memo_.find(hash.key);
-      it != memo_.end() && it->second.check == hash.check) {
-    ++stats_.cache_hits;
-    SITAM_COUNTER("tam.evaluator.cache_hits", 1);
-    return it->second.evaluation.t_soc;
-  }
-  ++stats_.cache_misses;
   SITAM_COUNTER("tam.evaluator.cache_misses", 1);
   const std::int64_t t = evaluate_uncached(arch).t_soc;
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
   if (scalar_memo_.size() >= kMemoCapacity) scalar_memo_.clear();
   scalar_memo_.emplace(hash.key, ScalarEntry{hash.check, t});
   return t;
-}
-
-const TamEvaluator::MemoEntry& TamEvaluator::memo_lookup(
-    const TamArchitecture& arch) const {
-  const DualHash hash = architecture_hash_pair(arch);
-  if (const auto it = memo_.find(hash.key);
-      it != memo_.end() && it->second.check == hash.check) {
-    ++stats_.cache_hits;
-    SITAM_COUNTER("tam.evaluator.cache_hits", 1);
-    return it->second;
-  }
-  ++stats_.cache_misses;
-  SITAM_COUNTER("tam.evaluator.cache_misses", 1);
-  Evaluation ev = evaluate_uncached(arch);
-  if (memo_.size() >= kMemoCapacity) memo_.clear();
-  return memo_[hash.key] = MemoEntry{hash.check, std::move(ev)};
 }
 
 Evaluation TamEvaluator::evaluate_uncached(const TamArchitecture& arch) const {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -195,7 +196,14 @@ struct EvaluatorStats {
 /// Binds a SOC, its precomputed wrapper time table and an SI test set, and
 /// evaluates TestRail architectures against them. The optimizer calls
 /// evaluate() hundreds of thousands of times, so the implementation reuses
-/// scratch buffers; instances are cheap to query but not thread-safe.
+/// scratch buffers.
+///
+/// Thread-safety: the memo caches and the stats counters are guarded by
+/// memo_mutex_, so concurrent readers never corrupt them (a racing miss
+/// may evaluate the same architecture twice — idempotent, results are
+/// bit-identical). The *scratch buffers* are not guarded: evaluation
+/// itself must stay single-threaded per instance. The parallel optimizer
+/// honours this by giving every worker its own evaluator.
 class TamEvaluator {
  public:
   /// All references must outlive the evaluator. Throws
@@ -244,8 +252,16 @@ class TamEvaluator {
   [[nodiscard]] const EvaluatorOptions& options() const { return options_; }
 
   /// Hit/miss/eval counters since construction (or the last reset).
-  [[nodiscard]] const EvaluatorStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = EvaluatorStats{}; }
+  /// Returned by value: the counters are mutex-guarded, so handing out a
+  /// reference would let callers read them while another thread updates.
+  [[nodiscard]] EvaluatorStats stats() const {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    return stats_;
+  }
+  void reset_stats() {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    stats_ = EvaluatorStats{};
+  }
 
   /// 64-bit hash of the evaluation-relevant architecture state: rail
   /// count, and per rail (in order) its width and core set. Rail ids are
@@ -264,15 +280,22 @@ class TamEvaluator {
   // The uncached timing model (the body of evaluate()).
   [[nodiscard]] Evaluation evaluate_uncached(const TamArchitecture& arch) const;
 
-  struct MemoEntry;
-  // Memoizing lookup: returns the (possibly just inserted) cache entry for
-  // `arch` and bumps the hit/miss counters. Only called with memoize on.
-  const MemoEntry& memo_lookup(const TamArchitecture& arch) const;
-
   const Soc* soc_;
   const TestTimeTable* table_;
   const SiTestSet* tests_;
   EvaluatorOptions options_;
+
+  // Scratch reused across evaluate() calls. Deliberately NOT guarded:
+  // evaluation stays single-threaded per instance (see the class comment),
+  // so guarding them would only hide a misuse the scratch reuse forbids.
+  mutable std::vector<int> rail_of_core_;
+  mutable std::vector<std::int64_t> rail_shift_;  // l_r(s) accumulator
+  mutable std::vector<std::int64_t> rail_cores_;  // |C(r) ∩ C(s)| accumulator
+  mutable std::vector<int> touched_rails_;
+
+  // Guards the memo caches and the stats counters below. Probes, counter
+  // bumps and inserts happen under it; evaluate_uncached runs outside it.
+  mutable std::mutex memo_mutex_;
 
   // Memo cache: primary hash -> (check hash, result). Cleared wholesale
   // when it outgrows kMemoCapacity — the optimizer's working set is tiny
@@ -282,7 +305,7 @@ class TamEvaluator {
     Evaluation evaluation;
   };
   static constexpr std::size_t kMemoCapacity = 1 << 16;
-  mutable std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  mutable std::unordered_map<std::uint64_t, MemoEntry> memo_;  // guarded_by(memo_mutex_)
 
   // Scalar side-cache for the t_soc() hot path: 16 bytes per entry, so a
   // miss never stores (and a hit never touches) a full Evaluation. Kept
@@ -292,14 +315,8 @@ class TamEvaluator {
     std::uint64_t check = 0;
     std::int64_t t_soc = 0;
   };
-  mutable std::unordered_map<std::uint64_t, ScalarEntry> scalar_memo_;
-  mutable EvaluatorStats stats_;
-
-  // Scratch reused across evaluate() calls (single-threaded use).
-  mutable std::vector<int> rail_of_core_;
-  mutable std::vector<std::int64_t> rail_shift_;  // l_r(s) accumulator
-  mutable std::vector<std::int64_t> rail_cores_;  // |C(r) ∩ C(s)| accumulator
-  mutable std::vector<int> touched_rails_;
+  mutable std::unordered_map<std::uint64_t, ScalarEntry> scalar_memo_;  // guarded_by(memo_mutex_)
+  mutable EvaluatorStats stats_;  // guarded_by(memo_mutex_)
 };
 
 }  // namespace sitam

@@ -1,0 +1,28 @@
+#include "util/obs_hooks.h"
+
+#include <atomic>
+
+namespace sitam {
+
+namespace {
+
+// Sanctioned process-wide seam state (allowlisted SL012): the hook table
+// pointer is written once by obs and read concurrently by every pool.
+std::atomic<const ThreadPoolObsHooks*> g_thread_pool_hooks{nullptr};
+thread_local const char* t_thread_role = nullptr;
+
+}  // namespace
+
+const ThreadPoolObsHooks* thread_pool_obs_hooks() {
+  return g_thread_pool_hooks.load(std::memory_order_acquire);
+}
+
+void install_thread_pool_obs_hooks(const ThreadPoolObsHooks* hooks) {
+  g_thread_pool_hooks.store(hooks, std::memory_order_release);
+}
+
+void set_thread_role(const char* role) { t_thread_role = role; }
+
+const char* thread_role() { return t_thread_role; }
+
+}  // namespace sitam

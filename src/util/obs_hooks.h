@@ -1,0 +1,43 @@
+// Dependency-inversion seam between util and the observability subsystem.
+//
+// The subsystem DAG (SL014, docs/STATIC_ANALYSIS.md) puts util below obs:
+// util must not include obs headers. ThreadPool still wants to report
+// queue depth, task wait latency, and per-task trace spans — so obs
+// installs this hook table when the first trace session starts
+// (src/obs/pool_hooks.cpp) and util calls through it. When nothing is
+// installed the cost on the hot path is one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+
+namespace sitam {
+
+/// Callbacks ThreadPool invokes at its observability points. All fields
+/// may be nullptr (no-op). The installed table must stay alive for the
+/// process (obs uses a constexpr table with static storage).
+struct ThreadPoolObsHooks {
+  /// Timestamp for wait-latency accounting, or -1 when tracing is off.
+  std::int64_t (*enqueue_stamp_ns)() = nullptr;
+  /// Queue depth observed right after an enqueue.
+  void (*queue_depth)(std::int64_t depth) = nullptr;
+  /// A task stamped at `enqueued_ns` just left the queue.
+  void (*task_dequeued)(std::int64_t enqueued_ns) = nullptr;
+  /// Runs `run(ctx)`, wrapped in a trace span when a session is active.
+  void (*run_task)(void (*run)(void*), void* ctx) = nullptr;
+};
+
+/// Currently installed hook table, or nullptr. Acquire load.
+[[nodiscard]] const ThreadPoolObsHooks* thread_pool_obs_hooks();
+
+/// Installs `hooks` (release store). Pass a table with static storage
+/// duration; installation is one-way and idempotent by convention.
+void install_thread_pool_obs_hooks(const ThreadPoolObsHooks* hooks);
+
+/// Role tag for the current thread ("pool-worker"). util sets it; obs
+/// reads it when the thread first attaches to a trace session, so worker
+/// threads are labelled even though util cannot call into obs directly.
+/// `role` must point at static storage (a string literal).
+void set_thread_role(const char* role);
+[[nodiscard]] const char* thread_role();
+
+}  // namespace sitam

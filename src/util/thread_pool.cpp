@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "obs/obs.h"
+#include "util/obs_hooks.h"
 
 namespace sitam {
+
+namespace {
+
+/// Trampoline for ThreadPoolObsHooks::run_task (a plain function pointer
+/// so the hook table needs no std::function machinery).
+void run_queued(void* ctx) {
+  (*static_cast<std::function<void()>*>(ctx))();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 1) {
@@ -35,9 +45,12 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::enqueue(std::function<void()> wrapped) {
+  const ThreadPoolObsHooks* hooks = thread_pool_obs_hooks();
   QueuedTask task;
   task.run = std::move(wrapped);
-  if (obs::active()) task.enqueued_ns = obs::trace_now_ns();
+  if (hooks != nullptr && hooks->enqueue_stamp_ns != nullptr) {
+    task.enqueued_ns = hooks->enqueue_stamp_ns();
+  }
   std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -48,11 +61,13 @@ void ThreadPool::enqueue(std::function<void()> wrapped) {
     depth = queue_.size();
   }
   ready_.notify_one();
-  SITAM_HISTOGRAM("util.thread_pool.queue_depth", depth);
+  if (hooks != nullptr && hooks->queue_depth != nullptr) {
+    hooks->queue_depth(static_cast<std::int64_t>(depth));
+  }
 }
 
 void ThreadPool::worker_loop() {
-  obs::set_current_thread_label("pool-worker");
+  set_thread_role("pool-worker");
   for (;;) {
     QueuedTask task;
     {
@@ -63,11 +78,16 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    if (task.enqueued_ns >= 0) {
-      SITAM_HISTOGRAM("util.thread_pool.task_wait_ns",
-                      obs::trace_now_ns() - task.enqueued_ns);
+    const ThreadPoolObsHooks* hooks = thread_pool_obs_hooks();
+    if (hooks != nullptr) {
+      if (task.enqueued_ns >= 0 && hooks->task_dequeued != nullptr) {
+        hooks->task_dequeued(task.enqueued_ns);
+      }
+      if (hooks->run_task != nullptr) {
+        hooks->run_task(&run_queued, &task.run);
+        continue;
+      }
     }
-    SITAM_TRACE_SPAN("util.thread_pool.task");
     task.run();  // packaged_task captures any exception in its future
   }
 }

@@ -76,10 +76,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<QueuedTask> queue_;
+  std::deque<QueuedTask> queue_;  // guarded_by(mutex_)
+  bool shutting_down_ = false;    // guarded_by(mutex_)
   std::mutex mutex_;
   std::condition_variable ready_;
-  bool shutting_down_ = false;
 };
 
 }  // namespace sitam

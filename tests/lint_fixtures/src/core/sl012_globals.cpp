@@ -1,0 +1,21 @@
+// Fixture: SL012 must fire on each flavor of mutable global state.
+#include <string>
+
+namespace sitam {
+
+int g_call_count = 0;  // line 6: SL012 (namespace-scope mutable)
+
+int next_ticket() {
+  static int ticket = 0;  // line 9: SL012 (mutable function-local static)
+  return ++ticket;
+}
+
+struct Config {
+  static std::string active_profile;  // line 14: SL012 (static data member)
+  static const int kLimit = 8;        // const: no finding
+  int per_instance = 0;               // instance member: no finding
+};
+
+constexpr int kTableSize = 64;  // constexpr: no finding
+
+}  // namespace sitam

@@ -1,0 +1,17 @@
+// Fixture: SL013 must fire on an unlocked access to a guarded_by field,
+// with the annotations declared in the sibling header (sl013_guarded.h).
+#include "core/sl013_guarded.h"
+
+namespace sitam {
+
+void Ledger::record(int value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(value);  // locked: no finding
+  sum_ += value;              // locked: no finding
+}
+
+int Ledger::total_unlocked() const {
+  return static_cast<int>(sum_);  // line 14: SL013 (no lock held)
+}
+
+}  // namespace sitam

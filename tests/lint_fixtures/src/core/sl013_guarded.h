@@ -1,0 +1,22 @@
+// Fixture: SL013 sibling-header pair. The class and its guarded_by
+// annotations live here; sl013_guarded.cpp provides the member function
+// bodies (one correctly locked, one not).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace sitam {
+
+class Ledger {
+ public:
+  void record(int value);
+  [[nodiscard]] int total_unlocked() const;
+
+ private:
+  std::vector<int> entries_;  // guarded_by(mutex_)
+  long sum_ = 0;              // guarded_by(mutex_)
+  mutable std::mutex mutex_;
+};
+
+}  // namespace sitam

@@ -1,0 +1,29 @@
+// Fixture: SL015 must fire on a cache container that inserts but never
+// evicts, and stay quiet on one with an eviction path.
+#include <map>
+#include <string>
+
+namespace sitam {
+
+class ResultCache {
+ public:
+  void remember(const std::string& key, long value) {
+    results_.emplace(key, value);  // line 11: SL015 (no eviction anywhere)
+  }
+
+ private:
+  std::map<std::string, long> results_;
+};
+
+class BoundedCache {
+ public:
+  void remember(const std::string& key, long value) {
+    if (values_.size() >= 16) values_.clear();  // eviction: no finding
+    values_.emplace(key, value);
+  }
+
+ private:
+  std::map<std::string, long> values_;
+};
+
+}  // namespace sitam

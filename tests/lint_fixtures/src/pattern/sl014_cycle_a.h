@@ -1,0 +1,11 @@
+// Fixture: SL014 same-layer cycle, half A — pattern includes sitest while
+// sitest (sl014_cycle_b.h) includes pattern back.
+#pragma once
+
+#include "sitest/sl014_cycle_b.h"  // line 5: SL014 (cycle pattern <-> sitest)
+
+namespace sitam {
+
+void fixture_cycle_a();
+
+}  // namespace sitam

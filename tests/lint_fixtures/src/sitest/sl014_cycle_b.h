@@ -1,0 +1,11 @@
+// Fixture: SL014 same-layer cycle, half B — sitest includes pattern while
+// pattern (sl014_cycle_a.h) includes sitest back.
+#pragma once
+
+#include "pattern/sl014_cycle_a.h"  // line 5: SL014 (cycle sitest <-> pattern)
+
+namespace sitam {
+
+void fixture_cycle_b();
+
+}  // namespace sitam

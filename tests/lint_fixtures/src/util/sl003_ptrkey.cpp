@@ -7,8 +7,8 @@ namespace sitam {
 struct Node {
   int id = 0;
 };
-
-std::map<Node*, int> ranks;            // line 11: SL003
-std::unordered_set<const Node*> seen;  // line 12: SL003
-
+struct Registry {
+  std::map<Node*, int> ranks;            // line 11: SL003
+  std::unordered_set<const Node*> seen;  // line 12: SL003
+};
 }  // namespace sitam

@@ -1,0 +1,11 @@
+// Fixture: SL014 must fire on a back-edge — util (layer 0) must not
+// depend on obs (layer 1).
+#pragma once
+
+#include "obs/obs.h"  // line 5: SL014 (back-edge util -> obs)
+
+namespace sitam {
+
+void fixture_back_edge();
+
+}  // namespace sitam

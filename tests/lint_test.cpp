@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -29,13 +30,13 @@ std::filesystem::path fixtures_root() {
 
 }  // namespace
 
-TEST(LintRules, CatalogueHasElevenStableIds) {
+TEST(LintRules, CatalogueHasFifteenStableIds) {
   const auto rules = lint::rules();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 15u);
   for (std::size_t i = 0; i < rules.size(); ++i) {
     const std::string id = i + 1 < 10 ? "SL00" + std::to_string(i + 1)
                                       : "SL0" + std::to_string(i + 1);
-    EXPECT_EQ(rules[i].id, id) << "rule ids must be SL001..SL011 in order";
+    EXPECT_EQ(rules[i].id, id) << "rule ids must be SL001..SL015 in order";
   }
 }
 
@@ -52,14 +53,19 @@ TEST(LintRules, BannedRandomnessSources) {
 }
 
 TEST(LintRules, RngImplementationIsExempt) {
-  const std::string text = "static std::random_device seed_entropy;\n";
+  // Function-local (not static), so SL012 stays out of the picture and
+  // only the SL001 random_device ban is in play.
+  const std::string text =
+      "unsigned entropy() { std::random_device d; return d(); }\n";
   EXPECT_TRUE(lint::lint_source("src/util/rng.cpp", text).empty());
-  EXPECT_FALSE(lint::lint_source("src/util/cli.cpp", text).empty());
+  EXPECT_EQ(rule_ids(lint::lint_source("src/util/cli.cpp", text)),
+            (std::vector<std::string>{"SL001"}));
 }
 
 TEST(LintRules, WallClockOnlyInStopwatchAndLog) {
   const std::string text =
-      "auto t = std::chrono::steady_clock::now();\n";
+      "long f() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n";
   EXPECT_TRUE(
       lint::lint_source("src/util/stopwatch.h", "#pragma once\n" + text)
           .empty());
@@ -86,7 +92,8 @@ TEST(LintRules, ObsChronoOnlyInClockShim) {
                   "src/obs/clock.h",
                   "#pragma once\n"
                   "#include <chrono>\n"
-                  "auto t = std::chrono::steady_clock::now();\n")
+                  "long now_ns() { return std::chrono::steady_clock::now()"
+                  ".time_since_epoch().count(); }\n")
                   .empty());
 
   // SL011 is scoped to src/obs: <chrono> alone elsewhere is fine.
@@ -97,20 +104,23 @@ TEST(LintRules, ObsChronoOnlyInClockShim) {
 }
 
 TEST(LintRules, PointerKeyedContainers) {
+  // Instance fields, so SL012 (namespace-scope state) stays quiet.
   const auto findings = lint::lint_source(
       "src/core/x.cpp",
-      "std::map<Module*, int> by_ptr;\n"
-      "std::unordered_map<const Core*, long> cache;\n"
-      "std::map<std::string, int> fine;\n"
-      "std::map<const char*, int> strings_fine;\n");
+      "struct Tables {\n"
+      "  std::map<Module*, int> by_ptr;\n"
+      "  std::unordered_map<const Core*, long> pointers;\n"
+      "  std::map<std::string, int> fine;\n"
+      "  std::map<const char*, int> strings_fine;\n"
+      "};\n");
   EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{"SL003", "SL003"}));
 }
 
 TEST(LintRules, UnorderedIterationNeedsOutputSignature) {
   const std::string iterating =
-      "std::unordered_map<int, long> cells;\n"
-      "long f() { long s = 0; for (auto& kv : cells) s += kv.second; "
-      "return s; }\n";
+      "long f(const std::unordered_map<int, long>& cells) {\n"
+      "  long s = 0; for (auto& kv : cells) s += kv.second; return s;\n"
+      "}\n";
   // Quiet TU: no output signature, no finding.
   EXPECT_TRUE(lint::lint_source("src/core/quiet.cpp", iterating).empty());
   // Same code plus a report include: SL004.
@@ -240,11 +250,13 @@ TEST(LintRules, ImplementationDefinedRandomFacilities) {
 }
 
 TEST(LintStripping, CommentsAndStringsAreIgnored) {
+  // `const char* const`: a plain `const char*` global would be a mutable
+  // pointer and trip SL012.
   EXPECT_TRUE(lint::lint_source("src/core/x.cpp",
                                 "// rand() in a comment\n"
                                 "/* srand(1); std::shuffle too */\n"
-                                "const char* s = \"rand()\";\n"
-                                "const char* r = R\"(srand(2))\";\n")
+                                "const char* const s = \"rand()\";\n"
+                                "const char* const r = R\"(srand(2))\";\n")
                   .empty());
 }
 
@@ -287,6 +299,11 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereSeeded) {
       {"src/core/sl004_unordered_out.cpp", 10, "SL004"},
       {"src/core/sl009_float.cpp", 5, "SL009"},
       {"src/core/sl009_float.cpp", 6, "SL009"},
+      {"src/core/sl012_globals.cpp", 6, "SL012"},
+      {"src/core/sl012_globals.cpp", 9, "SL012"},
+      {"src/core/sl012_globals.cpp", 14, "SL012"},
+      {"src/core/sl013_guarded.cpp", 14, "SL013"},
+      {"src/core/sl015_cache.cpp", 11, "SL015"},
       {"src/hypergraph/sl010_random.cpp", 2, "SL010"},
       {"src/hypergraph/sl010_random.cpp", 7, "SL010"},
       {"src/hypergraph/sl010_random.cpp", 8, "SL010"},
@@ -295,12 +312,15 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereSeeded) {
       {"src/obs/sl011_chrono.cpp", 9, "SL002"},
       {"src/pattern/sl008_includes.cpp", 2, "SL008"},
       {"src/pattern/sl008_includes.cpp", 3, "SL008"},
+      {"src/pattern/sl014_cycle_a.h", 5, "SL014"},
+      {"src/sitest/sl014_cycle_b.h", 5, "SL014"},
       {"src/soc/sl007_using.h", 6, "SL007"},
       {"src/tam/sl001_rng.cpp", 6, "SL001"},
       {"src/tam/sl001_rng.cpp", 8, "SL001"},
       {"src/tam/sl005_mutator.cpp", 7, "SL005"},
       {"src/util/sl003_ptrkey.cpp", 11, "SL003"},
       {"src/util/sl003_ptrkey.cpp", 12, "SL003"},
+      {"src/util/sl014_back_edge.h", 5, "SL014"},
       {"src/wrapper/sl006_guard.h", 1, "SL006"},
   };
   std::vector<Expect> actual;
@@ -346,6 +366,149 @@ TEST(LintAllowlist, RoundTripAndStaleDetection) {
   EXPECT_EQ(report.stale_allowlist[0].rule, "SL009");
 }
 
+TEST(LintSemantic, MutableGlobalState) {
+  const std::string text =
+      "namespace sitam {\n"
+      "int g_counter = 0;\n"
+      "extern int declared_elsewhere;\n"
+      "constexpr int kSize = 4;\n"
+      "int bump() {\n"
+      "  static int calls = 0;\n"
+      "  return ++calls;\n"
+      "}\n"
+      "struct S {\n"
+      "  static int shared_count;\n"
+      "  int ok = 0;\n"
+      "};\n"
+      "}\n";
+  const auto findings = lint::lint_source("src/core/g.cpp", text);
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"SL012", "SL012", "SL012"}));
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 2);   // namespace-scope mutable
+  EXPECT_EQ(findings[1].line, 6);   // function-local static
+  EXPECT_EQ(findings[2].line, 10);  // static data member
+  // SL012 is scoped to src/: the same TU elsewhere is quiet.
+  EXPECT_TRUE(lint::lint_source("tests/g.cpp", text).empty());
+  EXPECT_TRUE(lint::lint_source("bench/g.cpp", text).empty());
+}
+
+TEST(LintSemantic, LockDisciplineGuardedFields) {
+  const std::string text =
+      "#include <mutex>\n"
+      "namespace sitam {\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void add(long v) {\n"
+      "    const std::lock_guard<std::mutex> lock(mutex_);\n"
+      "    total_ += v;\n"
+      "  }\n"
+      "  long read_racy() const { return total_; }\n"
+      "  long read_locked() const { return total_; }\n"
+      " private:\n"
+      "  long total_ = 0;  // guarded_by(mutex_)\n"
+      "  mutable std::mutex mutex_;\n"
+      "};\n"
+      "}\n";
+  const auto findings = lint::lint_source("src/core/counter.cpp", text);
+  ASSERT_EQ(rule_ids(findings), (std::vector<std::string>{"SL013"}))
+      << "locked access and the _locked suffix are exempt";
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(LintSemantic, UnboundedCacheGrowth) {
+  // SL005 is scoped to tam/sitest, so src/core keeps this test on SL015.
+  const std::string growing =
+      "#include <map>\n"
+      "namespace sitam {\n"
+      "class LookupCache {\n"
+      " public:\n"
+      "  void put(int k, long v) { entries_.emplace(k, v); }\n"
+      " private:\n"
+      "  std::map<int, long> entries_;\n"
+      "};\n"
+      "}\n";
+  const auto findings = lint::lint_source("src/core/c.cpp", growing);
+  ASSERT_EQ(rule_ids(findings), (std::vector<std::string>{"SL015"}));
+  EXPECT_EQ(findings[0].line, 5);
+
+  const std::string bounded =
+      "#include <map>\n"
+      "namespace sitam {\n"
+      "class LookupCache {\n"
+      " public:\n"
+      "  void put(int k, long v) {\n"
+      "    if (entries_.size() > 8) entries_.clear();\n"
+      "    entries_.emplace(k, v);\n"
+      "  }\n"
+      " private:\n"
+      "  std::map<int, long> entries_;\n"
+      "};\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_source("src/core/c.cpp", bounded).empty());
+}
+
+TEST(LintExplain, EveryRuleHasLongFormDocs) {
+  for (const auto& rule : lint::rules()) {
+    const char* doc = lint::explain(rule.id);
+    ASSERT_NE(doc, nullptr) << rule.id;
+    EXPECT_GT(std::string(doc).size(), 100u) << rule.id;
+  }
+  EXPECT_EQ(lint::explain("SL099"), nullptr);
+  EXPECT_EQ(lint::explain("bogus"), nullptr);
+}
+
+TEST(LintIncremental, CacheHitsMissesAndStableFindings) {
+  lint::Options options;
+  options.root = fixtures_root();
+  options.paths = {fixtures_root()};
+  options.skip_fixture_dirs = false;
+  const auto cache_file = std::filesystem::path(::testing::TempDir()) /
+                          "sitam_lint_cache_test.txt";
+  std::filesystem::remove(cache_file);
+  options.cache_file = cache_file;
+
+  const lint::Report cold = lint::run(options);
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.cache_misses, cold.files_scanned);
+
+  const lint::Report warm = lint::run(options);
+  EXPECT_EQ(warm.cache_hits, warm.files_scanned);
+  EXPECT_EQ(warm.cache_misses, 0);
+
+  // Cached results replay bit-for-bit: same findings, same order — and
+  // the cross-TU layering pass (always recomputed) agrees too.
+  ASSERT_EQ(warm.findings.size(), cold.findings.size());
+  for (std::size_t i = 0; i < warm.findings.size(); ++i) {
+    EXPECT_EQ(warm.findings[i].file, cold.findings[i].file);
+    EXPECT_EQ(warm.findings[i].line, cold.findings[i].line);
+    EXPECT_EQ(warm.findings[i].rule, cold.findings[i].rule);
+    EXPECT_EQ(warm.findings[i].message, cold.findings[i].message);
+  }
+  ASSERT_EQ(warm.subsystem_edges.size(), cold.subsystem_edges.size());
+  std::filesystem::remove(cache_file);
+}
+
+TEST(LintArtifacts, SarifAndDotRendering) {
+  lint::Options options;
+  options.root = fixtures_root();
+  options.paths = {fixtures_root()};
+  options.skip_fixture_dirs = false;
+  const lint::Report report = lint::run(options);
+
+  std::ostringstream sarif_os;
+  lint::write_sarif(sarif_os, report);
+  const std::string sarif = sarif_os.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"SL014\""), std::string::npos);
+  EXPECT_NE(sarif.find("sl013_guarded.cpp"), std::string::npos);
+
+  const std::string dot = lint::render_subsystem_dot(report);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("util -> obs"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
 TEST(LintAllowlist, MalformedFileThrows) {
   EXPECT_THROW(
       static_cast<void>(
@@ -387,17 +550,20 @@ TEST(LintRepo, DeltaEvaluationTusNeedNoExemptions) {
   EXPECT_EQ(report.files_scanned, 6);
 }
 
-// The tracing subsystem is blessed explicitly, not via the allowlist: every
-// TU in src/obs must lint clean with zero inline directives and zero
-// allowlist entries. In particular SL011 keeps all time reads behind the
-// clock shim and SL004 keeps the exporters on ordered containers, so traces
-// and metrics files are byte-stable for a given run.
-TEST(LintRepo, ObsTusNeedNoExemptions) {
+// The tracing subsystem lints clean with zero inline directives; the only
+// sanctioned exceptions are the SL012 singletons in obs.cpp (the registry,
+// session and epoch that make src/obs a process-wide sink by design), which
+// are carried by the audited repo allowlist. In particular SL011 keeps all
+// time reads behind the clock shim and SL004 keeps the exporters on ordered
+// containers, so traces and metrics files are byte-stable for a given run.
+TEST(LintRepo, ObsTusNeedOnlySanctionedSingletons) {
   lint::Options options;
   options.root = std::filesystem::path(SITAM_REPO_ROOT);
   const auto obs_dir = options.root / "src/obs";
   ASSERT_TRUE(std::filesystem::is_directory(obs_dir)) << obs_dir;
   options.paths = {obs_dir};
+  options.allowlist =
+      lint::parse_allowlist(options.root / "tools/lint_allowlist.txt");
   const lint::Report report = lint::run(options);
   std::string listing;
   for (const auto& f : report.findings) {
@@ -405,7 +571,11 @@ TEST(LintRepo, ObsTusNeedNoExemptions) {
                "] " + f.message + "\n";
   }
   EXPECT_TRUE(report.findings.empty()) << listing;
-  EXPECT_TRUE(report.suppressed.empty());
+  EXPECT_FALSE(report.suppressed.empty());
+  for (const auto& f : report.suppressed) {
+    EXPECT_EQ(f.rule, "SL012");
+    EXPECT_EQ(f.file, "src/obs/obs.cpp");
+  }
   EXPECT_GE(report.files_scanned, 8);
 }
 
@@ -432,4 +602,13 @@ TEST(LintRepo, WholeTreeIsClean) {
   EXPECT_TRUE(report.findings.empty()) << listing;
   EXPECT_TRUE(report.stale_allowlist.empty());
   EXPECT_GT(report.files_scanned, 100);
+
+  // The declared subsystem DAG holds: the aggregated include graph has
+  // edges (the tree is not trivially empty) and none of them is a
+  // back-edge or part of a same-layer cycle.
+  EXPECT_FALSE(report.subsystem_edges.empty());
+  for (const auto& edge : report.subsystem_edges) {
+    EXPECT_FALSE(edge.back_edge) << edge.from << " -> " << edge.to;
+    EXPECT_FALSE(edge.in_cycle) << edge.from << " -> " << edge.to;
+  }
 }

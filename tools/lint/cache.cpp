@@ -1,0 +1,128 @@
+// Incremental lint cache: per-file findings and include edges keyed by a
+// combined content hash, so `lint_repo` re-lints only changed files. The
+// cache stores pre-allowlist findings (run() applies the allowlist after
+// the per-file stage), so allowlist edits never require re-linting.
+//
+// Format (plain text, one record per line):
+//   sitam-lint-cache v<version> rules=<n>
+//   file <path> <key-hex> <nfindings> <nincludes>
+//   f <line> <rule> <suppressed> <message...>
+//   i <line> <target>
+//
+// The version header embeds the rule count: growing the catalogue
+// invalidates every entry, which is exactly right — old cached results
+// would miss the new rules.
+#include <fstream>
+#include <sstream>
+
+#include "lint/model.h"
+
+namespace sitam::lint {
+
+namespace {
+
+constexpr int kCacheVersion = 1;
+
+std::string header_line() {
+  return "sitam-lint-cache v" + std::to_string(kCacheVersion) +
+         " rules=" + std::to_string(rules().size());
+}
+
+}  // namespace
+
+void LintCache::load(const std::filesystem::path& file) {
+  entries_.clear();
+  std::ifstream in(file);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line) || line != header_line()) return;
+
+  std::string path;
+  CachedFile entry;
+  int findings_left = 0;
+  int includes_left = 0;
+  const auto commit = [&] {
+    if (!path.empty() && findings_left == 0 && includes_left == 0) {
+      entries_.emplace(path, std::move(entry));
+    }
+    path.clear();
+    entry = CachedFile{};
+  };
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "file") {
+      commit();
+      std::string key_hex;
+      fields >> path >> key_hex >> findings_left >> includes_left;
+      if (fields.fail()) {
+        path.clear();
+        continue;
+      }
+      entry.key = std::stoull(key_hex, nullptr, 16);
+    } else if (tag == "f" && findings_left > 0) {
+      Finding f;
+      int suppressed = 0;
+      fields >> f.line >> f.rule >> suppressed;
+      std::getline(fields, f.message);
+      if (fields.fail()) {
+        path.clear();  // Corrupt record: drop the whole file entry.
+        findings_left = includes_left = 0;
+        continue;
+      }
+      const auto b = f.message.find_first_not_of(' ');
+      if (b != std::string::npos) f.message = f.message.substr(b);
+      f.file = path;
+      f.suppressed = suppressed != 0;
+      entry.findings.push_back(std::move(f));
+      --findings_left;
+    } else if (tag == "i" && includes_left > 0) {
+      IncludeRef ref;
+      fields >> ref.line >> ref.target;
+      if (fields.fail()) {
+        path.clear();
+        findings_left = includes_left = 0;
+        continue;
+      }
+      entry.includes.push_back(std::move(ref));
+      --includes_left;
+    }
+  }
+  commit();
+}
+
+const CachedFile* LintCache::lookup(const std::string& path,
+                                    std::uint64_t key) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.key != key) return nullptr;
+  return &it->second;
+}
+
+void LintCache::update(const std::string& path, CachedFile entry) {
+  entries_[path] = std::move(entry);
+}
+
+void LintCache::save(const std::filesystem::path& file,
+                     const std::vector<std::string>& seen_paths) const {
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) return;  // Cache writes are best-effort.
+  out << header_line() << '\n';
+  const std::set<std::string> seen(seen_paths.begin(), seen_paths.end());
+  for (const auto& [path, entry] : entries_) {
+    if (seen.count(path) == 0) continue;  // Prune deleted/unscanned files.
+    std::ostringstream key_hex;
+    key_hex << std::hex << entry.key;
+    out << "file " << path << ' ' << key_hex.str() << ' '
+        << entry.findings.size() << ' ' << entry.includes.size() << '\n';
+    for (const Finding& f : entry.findings) {
+      out << "f " << f.line << ' ' << f.rule << ' ' << (f.suppressed ? 1 : 0)
+          << ' ' << f.message << '\n';
+    }
+    for (const IncludeRef& ref : entry.includes) {
+      out << "i " << ref.line << ' ' << ref.target << '\n';
+    }
+  }
+}
+
+}  // namespace sitam::lint

@@ -1,0 +1,191 @@
+// SL014 — cross-TU subsystem layering. Builds the aggregated subsystem
+// graph from per-file include edges over src/, enforces the declared DAG
+//
+//   util -> obs -> {soc, interconnect, hypergraph}
+//        -> {pattern, sitest, wrapper} -> tam -> core
+//
+// (an arrow means "may be depended on by"), flags back-edges (a lower
+// layer including a higher one) and same-layer subsystem cycles, and
+// renders the graph as a Graphviz artifact.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lint/model.h"
+
+namespace sitam::lint {
+
+namespace {
+
+struct LayerEntry {
+  const char* subsystem;
+  int layer;
+};
+
+constexpr LayerEntry kLayers[] = {
+    {"util", 0},         {"obs", 1},     {"soc", 2},  {"interconnect", 2},
+    {"hypergraph", 2},   {"pattern", 3}, {"sitest", 3}, {"wrapper", 3},
+    {"tam", 4},          {"core", 5},
+};
+
+/// Subsystem of a repo-relative path ("src/tam/evaluator.h" -> "tam"),
+/// or "" when the path is not a src/ file of a known subsystem.
+std::string path_subsystem(const std::string& path) {
+  if (!starts_with(path, "src/")) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  const std::string sub = path.substr(4, slash - 4);
+  return subsystem_layer(sub) >= 0 ? sub : "";
+}
+
+/// Subsystem of an include target ("util/rng.h" -> "util").
+std::string target_subsystem(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string sub = target.substr(0, slash);
+  return subsystem_layer(sub) >= 0 ? sub : "";
+}
+
+}  // namespace
+
+int subsystem_layer(const std::string& subsystem) {
+  for (const LayerEntry& entry : kLayers) {
+    if (subsystem == entry.subsystem) return entry.layer;
+  }
+  return -1;
+}
+
+void check_layering(const std::vector<FileIncludes>& files,
+                    std::vector<Finding>& findings,
+                    std::vector<SubsystemEdge>& edges) {
+  // Aggregate cross-subsystem edges and remember every include site.
+  struct Site {
+    std::string file;
+    int line;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<Site>> graph;
+  for (const FileIncludes& file : files) {
+    const std::string from = path_subsystem(file.path);
+    if (from.empty()) continue;
+    for (const IncludeRef& inc : file.includes) {
+      const std::string to = target_subsystem(inc.target);
+      if (to.empty() || to == from) continue;
+      graph[{from, to}].push_back(Site{file.path, inc.line});
+    }
+  }
+
+  // Same-layer cycle detection: find subsystems on a directed cycle.
+  // Back-edges are reported separately, so restrict the walk to edges the
+  // layer order permits — any remaining cycle is same-layer by definition.
+  std::map<std::string, std::set<std::string>> adjacency;
+  for (const auto& [edge, sites] : graph) {
+    if (subsystem_layer(edge.second) <= subsystem_layer(edge.first)) {
+      adjacency[edge.first].insert(edge.second);
+    }
+  }
+  std::set<std::pair<std::string, std::string>> cycle_edges;
+  for (const auto& [start, _] : adjacency) {
+    // DFS from `start`; an edge that can reach back to its own source is
+    // part of a cycle. The graph has <= 10 nodes, so brute force is fine.
+    for (const std::string& next : adjacency[start]) {
+      std::set<std::string> visited;
+      std::vector<std::string> stack{next};
+      bool reaches_back = false;
+      while (!stack.empty() && !reaches_back) {
+        const std::string node = stack.back();
+        stack.pop_back();
+        if (node == start) {
+          reaches_back = true;
+          break;
+        }
+        if (!visited.insert(node).second) continue;
+        const auto it = adjacency.find(node);
+        if (it == adjacency.end()) continue;
+        for (const std::string& n : it->second) stack.push_back(n);
+      }
+      if (reaches_back) cycle_edges.insert({start, next});
+    }
+  }
+
+  for (const auto& [edge, sites] : graph) {
+    SubsystemEdge summary;
+    summary.from = edge.first;
+    summary.to = edge.second;
+    summary.count = static_cast<int>(sites.size());
+    summary.back_edge =
+        subsystem_layer(edge.second) > subsystem_layer(edge.first);
+    summary.in_cycle = cycle_edges.count(edge) != 0;
+    if (summary.back_edge) {
+      for (const Site& site : sites) {
+        Finding f;
+        f.file = site.file;
+        f.line = site.line;
+        f.rule = "SL014";
+        f.message = "subsystem back-edge: " + edge.first + " (layer " +
+                    std::to_string(subsystem_layer(edge.first)) +
+                    ") must not include " + edge.second + " (layer " +
+                    std::to_string(subsystem_layer(edge.second)) +
+                    "); invert the dependency (see util/obs_hooks.h for "
+                    "the pattern)";
+        findings.push_back(std::move(f));
+      }
+    } else if (summary.in_cycle) {
+      for (const Site& site : sites) {
+        Finding f;
+        f.file = site.file;
+        f.line = site.line;
+        f.rule = "SL014";
+        f.message = "subsystem cycle through " + edge.first + " -> " +
+                    edge.second +
+                    ": same-layer subsystems must not depend on each other "
+                    "both ways";
+        findings.push_back(std::move(f));
+      }
+    }
+    edges.push_back(std::move(summary));
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const SubsystemEdge& a, const SubsystemEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+}
+
+std::string render_subsystem_dot(const Report& report) {
+  std::ostringstream os;
+  os << "// Subsystem include graph (sitam_lint SL014). An edge A -> B\n"
+        "// means A includes B; red = DAG violation.\n"
+        "digraph sitam_subsystems {\n"
+        "  rankdir=BT;\n"
+        "  node [shape=box, fontname=\"Helvetica\"];\n";
+  // Group nodes by layer so the DAG renders bottom-up.
+  std::map<int, std::vector<std::string>> by_layer;
+  std::set<std::string> mentioned;
+  for (const SubsystemEdge& e : report.subsystem_edges) {
+    mentioned.insert(e.from);
+    mentioned.insert(e.to);
+  }
+  for (const LayerEntry& entry : kLayers) {
+    if (mentioned.count(entry.subsystem) != 0) {
+      by_layer[entry.layer].push_back(entry.subsystem);
+    }
+  }
+  for (const auto& [layer, subsystems] : by_layer) {
+    os << "  { rank=same;";
+    for (const std::string& s : subsystems) os << ' ' << s << ';';
+    os << " }  // layer " << layer << '\n';
+  }
+  for (const SubsystemEdge& e : report.subsystem_edges) {
+    os << "  " << e.from << " -> " << e.to << " [label=\"" << e.count
+       << "\"";
+    if (e.back_edge || e.in_cycle) {
+      os << ", color=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sitam::lint

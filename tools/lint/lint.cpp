@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "lint/model.h"
 
 namespace sitam::lint {
 
@@ -43,240 +46,25 @@ constexpr Rule kRules[] = {
     {"SL011",
      "direct std::chrono use in src/obs outside the clock shim "
      "(src/obs/clock.h); trace timestamps flow through obs::trace_now_ns()"},
+    {"SL012",
+     "mutable global state (namespace-scope variable, function-local "
+     "static, static data member) blocks reentrancy; sanctioned singletons "
+     "are allowlisted"},
+    {"SL013",
+     "field annotated // guarded_by(m) accessed without an enclosing "
+     "lock_guard/unique_lock/scoped_lock scope on m"},
+    {"SL014",
+     "subsystem include edge violates the declared DAG util -> obs -> "
+     "{soc,interconnect,hypergraph} -> {pattern,sitest,wrapper} -> tam -> "
+     "core"},
+    {"SL015",
+     "cache container with an insert path but no clear/erase/eviction "
+     "grows without bound in a long-running service"},
 };
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Comment/string-stripped view of a file: `code[i]` mirrors line i with
-/// comments and literal contents blanked, `allow[i]` holds the rule ids an
-/// inline directive enables on line i (a directive covers its own line and
-/// the following line; "*" means every rule).
-struct Stripped {
-  std::vector<std::string> raw;   ///< Original lines (for include paths).
-  std::vector<std::string> code;
-  std::vector<std::set<std::string>> allow;
-};
-
-void record_allow(Stripped& out, std::size_t line, const std::string& comment) {
-  const std::string tag = "sitam-lint:";
-  std::size_t at = comment.find(tag);
-  while (at != std::string::npos) {
-    std::size_t open = comment.find("allow(", at);
-    if (open == std::string::npos) break;
-    const std::size_t close = comment.find(')', open);
-    if (close == std::string::npos) break;
-    std::string inside = comment.substr(open + 6, close - open - 6);
-    std::string token;
-    std::istringstream items(inside);
-    while (std::getline(items, token, ',')) {
-      const auto b = token.find_first_not_of(" \t");
-      const auto e = token.find_last_not_of(" \t");
-      if (b == std::string::npos) continue;
-      token = token.substr(b, e - b + 1);
-      for (const std::size_t covered : {line, line + 1}) {
-        if (covered < out.allow.size()) out.allow[covered].insert(token);
-      }
-    }
-    at = comment.find(tag, close);
-  }
-}
-
-Stripped strip(const std::string& text) {
-  std::vector<std::string> lines;
-  {
-    std::string current;
-    for (const char c : text) {
-      if (c == '\n') {
-        lines.push_back(current);
-        current.clear();
-      } else if (c != '\r') {
-        current.push_back(c);
-      }
-    }
-    lines.push_back(current);
-  }
-
-  Stripped out;
-  out.raw = lines;
-  out.code.assign(lines.size(), "");
-  out.allow.assign(lines.size(), {});
-
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  State state = State::kCode;
-  std::string comment;        // Accumulates the current comment's text.
-  std::size_t comment_line = 0;
-  std::string raw_delim;      // )delim" terminator of the raw string.
-
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& line = lines[li];
-    std::string& code = out.code[li];
-    if (state == State::kLineComment) state = State::kCode;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            comment = line.substr(i + 2);
-            record_allow(out, li, comment);
-            i = line.size();
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            comment.clear();
-            comment_line = li;
-            ++i;
-          } else if (c == '"') {
-            // Raw string? Look back for R / u8R / LR / UR / uR.
-            std::size_t r = i;
-            if (r > 0 && line[r - 1] == 'R' &&
-                (r == 1 || !ident_char(line[r - 2]) || line[r - 2] == '8' ||
-                 line[r - 2] == 'u' || line[r - 2] == 'U' ||
-                 line[r - 2] == 'L')) {
-              state = State::kRawString;
-              std::size_t open = line.find('(', i);
-              if (open == std::string::npos) open = line.size();
-              raw_delim = ")" + line.substr(i + 1, open - i - 1) + "\"";
-              code.push_back('"');
-            } else {
-              state = State::kString;
-              code.push_back('"');
-            }
-          } else if (c == '\'') {
-            state = State::kChar;
-            code.push_back('\'');
-          } else {
-            code.push_back(c);
-          }
-          break;
-        case State::kLineComment:
-          break;  // Unreachable within the loop; reset per line above.
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            record_allow(out, comment_line, comment);
-            if (li != comment_line) record_allow(out, li, comment);
-            state = State::kCode;
-            ++i;
-          } else {
-            comment.push_back(c);
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            code.push_back('"');
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            code.push_back('\'');
-            state = State::kCode;
-          }
-          break;
-        case State::kRawString: {
-          const std::size_t end = line.find(raw_delim, i);
-          if (end == std::string::npos) {
-            i = line.size();
-          } else {
-            i = end + raw_delim.size() - 1;
-            code.push_back('"');
-            state = State::kCode;
-          }
-          break;
-        }
-      }
-    }
-    if (state == State::kString || state == State::kChar) {
-      state = State::kCode;  // Unterminated literal; don't poison the file.
-    }
-  }
-  // A directive on a comment-only line covers the first code line below it,
-  // even across a multi-line comment block.
-  for (std::size_t li = 0; li + 1 < out.code.size(); ++li) {
-    if (out.code[li].find_first_not_of(" \t") == std::string::npos) {
-      out.allow[li + 1].insert(out.allow[li].begin(), out.allow[li].end());
-    }
-  }
-  return out;
-}
-
-/// Position of `word` in `line` as a whole identifier, or npos.
-std::size_t find_word(const std::string& line, const std::string& word,
-                      std::size_t from = 0) {
-  std::size_t at = line.find(word, from);
-  while (at != std::string::npos) {
-    const bool left_ok = at == 0 || !ident_char(line[at - 1]);
-    const std::size_t after = at + word.size();
-    const bool right_ok = after >= line.size() || !ident_char(line[after]);
-    if (left_ok && right_ok) return at;
-    at = line.find(word, at + 1);
-  }
-  return std::string::npos;
-}
-
-bool has_word(const std::string& line, const std::string& word) {
-  return find_word(line, word) != std::string::npos;
-}
-
-/// True if `word` occurs as an identifier immediately followed by `(`
-/// (ignoring whitespace) — i.e. looks like a call.
-bool has_call(const std::string& line, const std::string& word) {
-  std::size_t at = find_word(line, word);
-  while (at != std::string::npos) {
-    std::size_t i = at + word.size();
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    if (i < line.size() && line[i] == '(') return true;
-    at = find_word(line, word, at + 1);
-  }
-  return false;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
 
 bool is_header_path(const std::string& path) {
   return ends_with(path, ".h") || ends_with(path, ".hpp") ||
          ends_with(path, ".inl");
-}
-
-/// First template argument of the `<...>` starting at `open` (index of '<'),
-/// or "" if the line ends before it closes.
-std::string first_template_arg(const std::string& line, std::size_t open) {
-  int depth = 0;
-  std::string arg;
-  for (std::size_t i = open; i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '<') {
-      ++depth;
-      if (depth == 1) continue;
-    } else if (c == '>') {
-      --depth;
-      if (depth == 0) return arg;
-    } else if (c == ',' && depth == 1) {
-      return arg;
-    }
-    if (depth >= 1) arg.push_back(c);
-  }
-  return "";
 }
 
 struct Context {
@@ -285,14 +73,7 @@ struct Context {
   std::vector<Finding>& findings;
 
   void emit(std::size_t line_index, const char* rule, std::string message) {
-    Finding f;
-    f.file = path;
-    f.line = static_cast<int>(line_index) + 1;
-    f.rule = rule;
-    f.message = std::move(message);
-    const auto& allowed = file.allow[line_index];
-    f.suppressed = allowed.count(rule) != 0 || allowed.count("*") != 0;
-    findings.push_back(std::move(f));
+    emit_finding(path, file, line_index, rule, std::move(message), findings);
   }
 };
 
@@ -519,7 +300,9 @@ struct FunctionDef {
 };
 
 /// Extremely small structural pass: finds top-level (namespace-scope)
-/// function definitions by brace matching on stripped code.
+/// function definitions by brace matching on stripped code. (SL005 only
+/// cares about out-of-line definitions, so this stays simpler than the
+/// full TuModel scan in model.cpp.)
 std::vector<FunctionDef> find_functions(const Stripped& file) {
   std::vector<FunctionDef> defs;
   enum class Frame { kNamespace, kType, kFunction, kOther };
@@ -713,16 +496,10 @@ void check_mutating_functions(Context& ctx) {
     if (body_lines < 3 || has_check) continue;  // Trivial setter or checked.
 
     // Honour a directive on the signature line (or the line above it).
-    Finding f;
-    f.file = ctx.path;
-    f.line = static_cast<int>(def.first_line) + 1;
-    f.rule = "SL005";
-    f.message = "mutating function '" +
-                (qualifier.empty() ? name : qualifier + "::" + name) +
-                "' has no SITAM_CHECK/SITAM_DCHECK or validating throw";
-    const auto& allowed = ctx.file.allow[def.first_line];
-    f.suppressed = allowed.count("SL005") != 0 || allowed.count("*") != 0;
-    ctx.findings.push_back(std::move(f));
+    ctx.emit(def.first_line, "SL005",
+             "mutating function '" +
+                 (qualifier.empty() ? name : qualifier + "::" + name) +
+                 "' has no SITAM_CHECK/SITAM_DCHECK or validating throw");
   }
 }
 
@@ -842,15 +619,23 @@ bool lintable_file(const std::filesystem::path& p) {
                      [&](const char* e) { return ext == e; });
 }
 
-}  // namespace
-
-std::span<const Rule> rules() { return kRules; }
-
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& text) {
-  const Stripped stripped = strip(text);
+/// Per-file lint result: findings (inline suppression resolved, allowlist
+/// not yet applied) plus the subsystem-relative include edges the cross-TU
+/// layering pass consumes. Exactly what the incremental cache stores.
+struct FileResult {
   std::vector<Finding> findings;
-  Context ctx{path, stripped, findings};
+  std::vector<IncludeRef> includes;
+};
+
+/// Full per-file analysis. `sibling_text` is the same-stem header of a
+/// .cpp (nullptr when there is none): its guarded_by annotations and
+/// class definitions extend the SL013/SL015 passes, since members are
+/// declared in the header but used out-of-line in the .cpp.
+FileResult lint_file(const std::string& path, const std::string& text,
+                     const std::string* sibling_text) {
+  FileResult result;
+  const Stripped stripped = strip(text);
+  Context ctx{path, stripped, result.findings};
   check_rng_and_clock(ctx);
   check_pointer_keys(ctx);
   check_unordered_iteration(ctx);
@@ -859,12 +644,48 @@ std::vector<Finding> lint_source(const std::string& path,
   check_includes(ctx);
   check_float(ctx);
   check_obs_clock(ctx);
-  std::sort(findings.begin(), findings.end(),
+
+  const TuModel model = build_model(stripped);
+  std::vector<ClassDecl> extra_classes;
+  if (sibling_text != nullptr) {
+    extra_classes = build_model(strip(*sibling_text)).classes;
+  }
+  check_mutable_globals(path, stripped, model, result.findings);
+  check_lock_discipline(path, stripped, model, extra_classes,
+                        result.findings);
+  check_unbounded_growth(path, stripped, model, extra_classes,
+                         result.findings);
+
+  result.includes = scan_includes(stripped);
+  std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
-  return findings;
+  return result;
+}
+
+/// Same-stem header path of a .cpp ("src/tam/evaluator.cpp" ->
+/// "src/tam/evaluator.h" / ".hpp"), looked up in the scanned set.
+std::string sibling_header_path(
+    const std::string& path,
+    const std::map<std::string, std::size_t>& by_path) {
+  if (!ends_with(path, ".cpp") && !ends_with(path, ".cc")) return "";
+  const std::size_t dot = path.rfind('.');
+  for (const char* ext : {".h", ".hpp"}) {
+    const std::string candidate = path.substr(0, dot) + ext;
+    if (by_path.count(candidate) != 0) return candidate;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::span<const Rule> rules() { return kRules; }
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& text) {
+  return lint_file(path, text, nullptr).findings;
 }
 
 std::vector<AllowlistEntry> parse_allowlist(
@@ -936,7 +757,15 @@ Report run(const Options& options) {
     }
   }
 
-  std::vector<bool> allowlist_used(options.allowlist.size(), false);
+  // Stage 1: read every file up front. The sibling-header pass and the
+  // layering pass both need the whole set before per-file analysis.
+  struct FileEntry {
+    std::string path;  ///< Normalized repo-relative path.
+    std::string text;
+  };
+  std::vector<FileEntry> entries;
+  std::map<std::string, std::size_t> by_path;
+  entries.reserve(files.size());
   for (const auto& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -951,30 +780,95 @@ Report run(const Options& options) {
     if (ec || rel.empty() || rel.generic_string().rfind("..", 0) == 0) {
       rel = file;
     }
-    const std::string path = normalize(rel);
+    FileEntry entry;
+    entry.path = normalize(rel);
+    entry.text = text.str();
+    if (by_path.count(entry.path) != 0) continue;  // Path listed twice.
+    by_path.emplace(entry.path, entries.size());
+    entries.push_back(std::move(entry));
+  }
 
+  const bool incremental = !options.cache_file.empty();
+  LintCache cache;
+  if (incremental) cache.load(options.cache_file);
+
+  // Stage 2: per-file analysis (or cache hit). The cache key mixes the
+  // sibling header's hash into the file's own, so editing a header
+  // invalidates the .cpp entries that read its annotations.
+  std::vector<Finding> findings;  ///< Pre-allowlist, inline resolved.
+  std::vector<FileIncludes> all_includes;
+  std::vector<std::string> seen_paths;
+  for (const FileEntry& entry : entries) {
     ++report.files_scanned;
-    for (Finding& f : lint_source(path, text.str())) {
-      if (!f.suppressed) {
-        for (std::size_t i = 0; i < options.allowlist.size(); ++i) {
-          const AllowlistEntry& entry = options.allowlist[i];
-          if (entry.path == f.file &&
-              (entry.rule == "*" || entry.rule == f.rule)) {
-            f.suppressed = true;
-            allowlist_used[i] = true;
-            break;
-          }
+    seen_paths.push_back(entry.path);
+
+    const std::string sibling = sibling_header_path(entry.path, by_path);
+    const std::string* sibling_text =
+        sibling.empty() ? nullptr : &entries[by_path.at(sibling)].text;
+    std::uint64_t key = content_hash(entry.text);
+    if (sibling_text != nullptr) {
+      key = key * 1099511628211ULL ^ content_hash(*sibling_text);
+    }
+
+    if (incremental) {
+      if (const CachedFile* hit = cache.lookup(entry.path, key)) {
+        ++report.cache_hits;
+        findings.insert(findings.end(), hit->findings.begin(),
+                        hit->findings.end());
+        all_includes.push_back(FileIncludes{entry.path, hit->includes});
+        continue;
+      }
+      ++report.cache_misses;
+    }
+
+    FileResult result = lint_file(entry.path, entry.text, sibling_text);
+    if (incremental) {
+      cache.update(entry.path, CachedFile{key, result.findings,
+                                          result.includes});
+    }
+    findings.insert(findings.end(),
+                    std::make_move_iterator(result.findings.begin()),
+                    std::make_move_iterator(result.findings.end()));
+    all_includes.push_back(
+        FileIncludes{entry.path, std::move(result.includes)});
+  }
+
+  // Stage 3: cross-TU layering over the aggregated include graph. Always
+  // recomputed — the edges are cached per file, the graph verdict is not.
+  check_layering(all_includes, findings, report.subsystem_edges);
+
+  // Stage 4: allowlist application, then a global deterministic sort.
+  std::vector<bool> allowlist_used(options.allowlist.size(), false);
+  for (Finding& f : findings) {
+    if (!f.suppressed) {
+      for (std::size_t i = 0; i < options.allowlist.size(); ++i) {
+        const AllowlistEntry& entry = options.allowlist[i];
+        if (entry.path == f.file &&
+            (entry.rule == "*" || entry.rule == f.rule)) {
+          f.suppressed = true;
+          allowlist_used[i] = true;
+          break;
         }
       }
-      (f.suppressed ? report.suppressed : report.findings)
-          .push_back(std::move(f));
     }
+    (f.suppressed ? report.suppressed : report.findings)
+        .push_back(std::move(f));
   }
+  const auto order = [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  };
+  std::sort(report.findings.begin(), report.findings.end(), order);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), order);
   for (std::size_t i = 0; i < options.allowlist.size(); ++i) {
     if (!allowlist_used[i]) {
       report.stale_allowlist.push_back(options.allowlist[i]);
     }
   }
+
+  if (incremental) cache.save(options.cache_file, seen_paths);
   return report;
 }
 

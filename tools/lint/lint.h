@@ -1,11 +1,16 @@
-// sitam-lint: repo-native static analysis for determinism and invariant
-// hygiene.
+// sitam-lint: repo-native static analysis for determinism, reentrancy and
+// invariant hygiene.
 //
 // PR 1 made bit-identical parallel optimization a headline guarantee; this
 // linter turns the conventions that guarantee rests on into enforced rules.
-// It is a token/line-level analyzer (no libclang): every file is stripped of
-// comments and string literals, then a fixed rule table (SL001..SL010) is
-// matched against the remaining code. Findings can be suppressed inline with
+// It is a multi-pass analyzer without libclang: every file is stripped of
+// comments and string literals, then (a) a fixed line-level rule table
+// (SL001..SL011) is matched against the remaining code, (b) a
+// tokenizer-backed scope/symbol model per TU drives the semantic rules —
+// SL012 mutable global state, SL013 `// guarded_by(m)` lock discipline,
+// SL015 unbounded cache growth — and (c) a cross-TU pass over the include
+// graph enforces the declared subsystem DAG (SL014) and renders it as DOT.
+// Findings can be suppressed inline with
 //
 //   // sitam-lint: allow(SL004)            (this line or the next line)
 //   // sitam-lint: allow(SL004,SL005)      (several rules)
@@ -62,6 +67,19 @@ struct Options {
   /// Skip directories named "lint_fixtures" (they contain deliberate
   /// violations for the linter's own tests). The lint tests disable this.
   bool skip_fixture_dirs = true;
+  /// Incremental mode: load per-file results keyed by content hash from
+  /// this file and re-lint only changed files. Empty = off. The cache is
+  /// written back (updated and pruned) at the end of run().
+  std::filesystem::path cache_file;
+};
+
+/// One aggregated edge of the subsystem include graph ("tam" -> "soc").
+struct SubsystemEdge {
+  std::string from;
+  std::string to;
+  int count = 0;         ///< Number of include sites.
+  bool back_edge = false;  ///< Violates the declared layer order.
+  bool in_cycle = false;   ///< Part of a same-layer subsystem cycle.
 };
 
 struct Report {
@@ -70,6 +88,11 @@ struct Report {
   /// Allowlist entries that matched no finding this run (likely stale).
   std::vector<AllowlistEntry> stale_allowlist;
   int files_scanned = 0;
+  /// Subsystem include graph over src/ (SL014 input; DOT artifact source).
+  std::vector<SubsystemEdge> subsystem_edges;
+  /// Incremental-mode bookkeeping (both zero when the cache is off).
+  int cache_hits = 0;
+  int cache_misses = 0;
 };
 
 /// Lints one in-memory source. `path` must use forward slashes and be
@@ -92,5 +115,18 @@ struct Report {
 
 /// Prints findings as "file:line: [SLxxx] message", one per line.
 void print_findings(std::ostream& os, std::span<const Finding> findings);
+
+/// Long-form documentation for one rule id ("SL013"), or nullptr for an
+/// unknown id. Backs the CLI's `--explain SLxxx`.
+[[nodiscard]] const char* explain(const std::string& rule_id);
+
+/// Renders Report::subsystem_edges as a Graphviz digraph: one node per
+/// subsystem ranked by layer, edges labelled with include-site counts,
+/// back-edges and cycle edges highlighted.
+[[nodiscard]] std::string render_subsystem_dot(const Report& report);
+
+/// Writes the report's unsuppressed findings as minimal SARIF 2.1.0 (one
+/// run, rule metadata from rules(), result locations repo-relative).
+void write_sarif(std::ostream& os, const Report& report);
 
 }  // namespace sitam::lint

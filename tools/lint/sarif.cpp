@@ -1,0 +1,93 @@
+// SARIF 2.1.0 output: one run, rule metadata from the catalogue, one
+// result per unsuppressed finding. Minimal but valid — enough for GitHub
+// code-scanning upload to annotate PR diffs.
+#include <ostream>
+
+#include "lint/lint.h"
+
+namespace sitam::lint {
+
+namespace {
+
+/// JSON string escaping (the subset our messages can contain).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_sarif(std::ostream& os, const Report& report) {
+  os << "{\n"
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"sitam_lint\",\n"
+        "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+        "          \"rules\": [\n";
+  const auto rule_table = rules();
+  for (std::size_t i = 0; i < rule_table.size(); ++i) {
+    os << "            {\"id\": \"" << rule_table[i].id
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rule_table[i].summary) << "\"}}"
+       << (i + 1 < rule_table.size() ? "," : "") << '\n';
+  }
+  os << "          ]\n"
+        "        }\n"
+        "      },\n"
+        "      \"results\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    os << "        {\n"
+          "          \"ruleId\": \"" << f.rule << "\",\n"
+          "          \"level\": \"error\",\n"
+          "          \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"},\n"
+          "          \"locations\": [\n"
+          "            {\n"
+          "              \"physicalLocation\": {\n"
+          "                \"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"},\n"
+          "                \"region\": {\"startLine\": " << f.line << "}\n"
+          "              }\n"
+          "            }\n"
+          "          ]\n"
+          "        }" << (i + 1 < report.findings.size() ? "," : "") << '\n';
+  }
+  os << "      ]\n"
+        "    }\n"
+        "  ]\n"
+        "}\n";
+}
+
+}  // namespace sitam::lint

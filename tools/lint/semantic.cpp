@@ -1,0 +1,352 @@
+// Semantic passes over the TuModel: SL012 mutable global state, SL013
+// guarded_by lock discipline, SL015 unbounded cache growth. All three are
+// scoped to src/ paths; the fixture tree mirrors src/ so fixtures engage
+// them with the same path rules.
+#include <algorithm>
+#include <cctype>
+
+#include "lint/model.h"
+
+namespace sitam::lint {
+
+namespace {
+
+bool in_src(const std::string& path) { return starts_with(path, "src/"); }
+
+std::string lowercase(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool cacheish(const std::string& name) {
+  const std::string lower = lowercase(name);
+  return lower.find("cache") != std::string::npos ||
+         lower.find("memo") != std::string::npos;
+}
+
+bool container_type(const std::string& decl_text) {
+  for (const char* type :
+       {"map", "unordered_map", "set", "unordered_set", "vector", "deque",
+        "list", "multimap", "unordered_multimap"}) {
+    if (has_word(decl_text, type)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SL012 — mutable global state.
+
+void check_mutable_globals(const std::string& path, const Stripped& file,
+                           const TuModel& model,
+                           std::vector<Finding>& findings) {
+  if (!in_src(path)) return;
+  for (const VarDecl& var : model.globals) {
+    // An extern declaration is not a definition; the defining TU is where
+    // the finding (and the allowlist entry) belongs.
+    if (var.is_const || var.is_extern) continue;
+    emit_finding(path, file, var.line, "SL012",
+                 "namespace-scope mutable variable '" + var.name +
+                     "' is shared global state and blocks reentrancy; make "
+                     "it const/constexpr or move it behind an audited, "
+                     "allowlisted accessor",
+                 findings);
+  }
+  for (const VarDecl& var : model.local_statics) {
+    emit_finding(path, file, var.line, "SL012",
+                 "mutable function-local static '" + var.name +
+                     "' is hidden global state; concurrent callers race on "
+                     "it — pass state explicitly or allowlist a sanctioned "
+                     "singleton",
+                 findings);
+  }
+  for (const ClassDecl& cls : model.classes) {
+    for (const FieldDecl& field : cls.fields) {
+      if (!field.is_static || field.is_const) continue;
+      emit_finding(path, file, field.line, "SL012",
+                   "non-const static data member '" + field.name +
+                       "' is global state shared by every instance; make it "
+                       "an instance member or const",
+                   findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL013 — guarded_by lock discipline.
+
+namespace {
+
+struct GuardedField {
+  std::string owner;  ///< Class name ("" matches only qualified access).
+  std::string name;
+  std::string guard;
+};
+
+/// Does `line` declare a lock on `guard`? Requires a lock type and a
+/// mention of the guard — word-matched for plain names, space-stripped
+/// substring for call-style guards ("mutex()").
+bool is_lock_line(const std::string& line, const std::string& guard) {
+  if (!has_word(line, "lock_guard") && !has_word(line, "unique_lock") &&
+      !has_word(line, "scoped_lock")) {
+    return false;
+  }
+  if (guard.find('(') == std::string::npos) return has_word(line, guard);
+  std::string squeezed;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      squeezed.push_back(c);
+    }
+  }
+  return squeezed.find(guard) != std::string::npos;
+}
+
+/// All word-occurrences of `field.name` on `line` that read like an
+/// access to that field: bare or this-> inside a member function of the
+/// owning class, or object.field / object->field anywhere.
+bool line_accesses_field(const std::string& line, const GuardedField& field,
+                         bool inside_owner_member) {
+  std::size_t at = find_word(line, field.name);
+  while (at != std::string::npos) {
+    // What immediately precedes the identifier (ignoring spaces)?
+    std::size_t p = at;
+    while (p > 0 &&
+           std::isspace(static_cast<unsigned char>(line[p - 1])) != 0) {
+      --p;
+    }
+    const bool after_dot = p > 0 && line[p - 1] == '.';
+    const bool after_arrow = p >= 2 && line[p - 2] == '-' && line[p - 1] == '>';
+    if (after_dot || after_arrow) {
+      // Qualified access — but "x.field(" is a method call, not the field.
+      std::size_t q = at + field.name.size();
+      while (q < line.size() && line[q] == ' ') ++q;
+      if (q >= line.size() || line[q] != '(') return true;
+    } else if (inside_owner_member) {
+      // Bare access in a member function — skip declarations of a local
+      // with the same name (preceded by an identifier or '>' or '&'/'*').
+      // A preceding statement keyword ("return x_;") is an access, not a
+      // declaration.
+      bool preceded_by_type = p > 0 && (ident_char(line[p - 1]) || line[p - 1] == '>');
+      if (preceded_by_type && ident_char(line[p - 1])) {
+        std::size_t wb = p;
+        while (wb > 0 && ident_char(line[wb - 1])) --wb;
+        const std::string word = line.substr(wb, p - wb);
+        for (const char* kw : {"return", "co_return", "co_yield", "case",
+                               "throw", "delete", "else", "do"}) {
+          if (word == kw) {
+            preceded_by_type = false;
+            break;
+          }
+        }
+      }
+      std::size_t q = at + field.name.size();
+      while (q < line.size() && line[q] == ' ') ++q;
+      const bool is_call = q < line.size() && line[q] == '(';
+      if (!preceded_by_type && !is_call) return true;
+    }
+    at = find_word(line, field.name, at + field.name.size());
+  }
+  return false;
+}
+
+void check_function_against_field(const std::string& path,
+                                  const Stripped& file,
+                                  const FunctionDecl& fn,
+                                  const GuardedField& field,
+                                  std::vector<Finding>& findings) {
+  // Constructors/destructors initialize before sharing; *_locked helpers
+  // document that the caller holds the lock.
+  if (fn.name == field.owner || fn.name == "~" + field.owner) return;
+  if (ends_with(fn.name, "_locked")) return;
+  const bool inside_owner_member =
+      !field.owner.empty() && fn.qualifier == field.owner;
+
+  int depth = 0;
+  std::vector<int> lock_depths;  ///< Depth at which each active lock lives.
+  for (std::size_t li = fn.body_begin;
+       li <= fn.body_end && li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    const bool locks_here = is_lock_line(line, field.guard);
+    const bool locked = locks_here || !lock_depths.empty();
+    if (!locked && line_accesses_field(line, field, inside_owner_member)) {
+      emit_finding(path, file, li, "SL013",
+                   "'" + field.name + "' is guarded_by(" + field.guard +
+                       ") but accessed without an enclosing lock_guard/"
+                       "unique_lock on " + field.guard +
+                       " (suffix the function _locked if the caller holds "
+                       "it)",
+                   findings);
+    }
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        while (!lock_depths.empty() && lock_depths.back() > depth) {
+          lock_depths.pop_back();
+        }
+      }
+    }
+    if (locks_here) lock_depths.push_back(depth);
+  }
+}
+
+std::vector<GuardedField> collect_guarded_fields(
+    const TuModel& model, const std::vector<ClassDecl>& extra_classes) {
+  std::vector<GuardedField> fields;
+  const auto collect = [&](const std::vector<ClassDecl>& classes) {
+    for (const ClassDecl& cls : classes) {
+      for (const FieldDecl& field : cls.fields) {
+        if (field.guard.empty()) continue;
+        fields.push_back(GuardedField{cls.name, field.name, field.guard});
+      }
+    }
+  };
+  collect(model.classes);
+  collect(extra_classes);
+  return fields;
+}
+
+}  // namespace
+
+void check_lock_discipline(const std::string& path, const Stripped& file,
+                           const TuModel& model,
+                           const std::vector<ClassDecl>& extra_classes,
+                           std::vector<Finding>& findings) {
+  if (!in_src(path)) return;
+  const std::vector<GuardedField> fields =
+      collect_guarded_fields(model, extra_classes);
+  if (fields.empty()) return;
+  for (const GuardedField& field : fields) {
+    for (const FunctionDecl& fn : model.functions) {
+      check_function_against_field(path, file, fn, field, findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SL015 — unbounded cache growth.
+
+namespace {
+
+/// Does any line contain `name` followed (via . or ->) by one of the
+/// member calls, or — for `indexing` — `name[`?
+bool has_member_call(const Stripped& file, const std::string& name,
+                     std::initializer_list<const char*> calls, bool indexing,
+                     std::size_t* first_line) {
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    std::size_t at = find_word(line, name);
+    while (at != std::string::npos) {
+      std::size_t q = at + name.size();
+      if (q < line.size() && indexing && line[q] == '[') {
+        if (first_line != nullptr) *first_line = li;
+        return true;
+      }
+      std::string after;
+      if (q + 1 < line.size() && line[q] == '.') {
+        after = line.substr(q + 1);
+      } else if (q + 2 < line.size() && line[q] == '-' && line[q + 1] == '>') {
+        after = line.substr(q + 2);
+      }
+      if (!after.empty()) {
+        for (const char* call : calls) {
+          if (starts_with(after, call)) {
+            if (first_line != nullptr) *first_line = li;
+            return true;
+          }
+        }
+      }
+      at = find_word(line, name, at + name.size());
+    }
+  }
+  return false;
+}
+
+/// Assignment to `name` (reassignment empties the container).
+bool has_reassignment(const Stripped& file, const std::string& name) {
+  for (const std::string& line : file.code) {
+    std::size_t at = find_word(line, name);
+    while (at != std::string::npos) {
+      std::size_t q = at + name.size();
+      while (q < line.size() && line[q] == ' ') ++q;
+      if (q < line.size() && line[q] == '=' &&
+          (q + 1 >= line.size() || line[q + 1] != '=')) {
+        return true;
+      }
+      at = find_word(line, name, at + name.size());
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_unbounded_growth(const std::string& path, const Stripped& file,
+                            const TuModel& model,
+                            const std::vector<ClassDecl>& extra_classes,
+                            std::vector<Finding>& findings) {
+  if (!in_src(path)) return;
+
+  // Candidates: container fields of cache-named classes (or cache-named
+  // fields of any class), from this TU and its sibling header; plus, for
+  // split class definitions, any member-style identifier (trailing '_')
+  // whose name itself says cache/memo.
+  std::set<std::string> candidates;
+  const auto collect = [&](const std::vector<ClassDecl>& classes) {
+    for (const ClassDecl& cls : classes) {
+      for (const FieldDecl& field : cls.fields) {
+        if (field.is_static || field.is_const) continue;
+        if (!container_type(field.decl_text)) continue;
+        if (cacheish(cls.name) || cacheish(field.name)) {
+          candidates.insert(field.name);
+        }
+      }
+    }
+  };
+  collect(model.classes);
+  collect(extra_classes);
+  for (const std::string& line : file.code) {
+    std::string token;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      const char c = i < line.size() ? line[i] : ' ';
+      if (ident_char(c)) {
+        token.push_back(c);
+      } else {
+        if (token.size() > 1 && token.back() == '_' && cacheish(token)) {
+          candidates.insert(token);
+        }
+        token.clear();
+      }
+    }
+  }
+
+  for (const std::string& name : candidates) {
+    std::size_t insert_line = 0;
+    const bool inserts = has_member_call(
+        file, name,
+        {"insert", "emplace", "try_emplace", "emplace_back", "push_back",
+         "push_front", "emplace_front"},
+        /*indexing=*/true, &insert_line);
+    if (!inserts) continue;
+    const bool evicts =
+        has_member_call(file, name,
+                        {"clear", "erase", "pop_front", "pop_back", "extract",
+                         "resize", "swap", "shrink_to_fit"},
+                        /*indexing=*/false, nullptr) ||
+        has_reassignment(file, name);
+    if (evicts) continue;
+    emit_finding(path, file, insert_line, "SL015",
+                 "cache container '" + name +
+                     "' grows without bound: this TU inserts into it but "
+                     "never clears/erases/evicts; cap it or add an eviction "
+                     "path",
+                 findings);
+  }
+}
+
+}  // namespace sitam::lint

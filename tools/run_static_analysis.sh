@@ -1,53 +1,132 @@
 #!/usr/bin/env bash
-# Local/CI static-analysis gate:
-#   1. clang-format check (skipped with a notice when clang-format is absent)
-#   2. sitam_lint over the whole tree (zero unsuppressed findings required)
-#   3. AddressSanitizer + UndefinedBehaviorSanitizer builds of the tier-1
-#      test suite (ctest -L asan in each), with SITAM_DCHECKs armed
+# Local/CI static-analysis gate, run as independent stages:
+#   format      clang-format check (skipped with a notice when absent)
+#   lint        sitam_lint over the whole tree — zero unsuppressed findings,
+#               incremental cache + SARIF + subsystem-DAG DOT artifacts
+#   tidy        clang-tidy (bugprone-*/concurrency-*) — NON-GATING: failures
+#               are reported in the summary but never fail the script
+#   asan/ubsan  sanitizer builds of the tier-1 test suite (ctest -L asan)
 #
-# Usage: tools/run_static_analysis.sh [--skip-sanitizers]
-# Exits nonzero on the first failing step.
-set -euo pipefail
+# Usage: tools/run_static_analysis.sh [--quick] [--skip-sanitizers]
+#   --quick            format + lint + tidy only (the sub-minute inner loop)
+#   --skip-sanitizers  legacy alias for --quick
+#
+# Every requested stage runs even when an earlier one fails; the summary
+# table at the end shows each stage's status. The script's exit code is the
+# first failing stage's dedicated code:
+#   10 format   11 lint   12 asan   13 ubsan
+set -uo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 2)"
-skip_sanitizers=0
+quick=0
 for arg in "$@"; do
   case "${arg}" in
-    --skip-sanitizers) skip_sanitizers=1 ;;
-    *) echo "usage: $0 [--skip-sanitizers]" >&2; exit 2 ;;
+    --quick | --skip-sanitizers) quick=1 ;;
+    *) echo "usage: $0 [--quick] [--skip-sanitizers]" >&2; exit 2 ;;
   esac
 done
 
+# Stage bookkeeping: parallel arrays of name -> status.
+stage_names=()
+stage_statuses=()
+exit_code=0
+
+record() {  # record <name> <status> [<fail-code>]
+  stage_names+=("$1")
+  stage_statuses+=("$2")
+  if [[ "$2" == FAIL && ${exit_code} -eq 0 && $# -ge 3 ]]; then
+    exit_code="$3"
+  fi
+}
+
 step() { printf '\n== %s ==\n' "$*"; }
 
-step "clang-format check"
+# --- format ----------------------------------------------------------------
+step "format: clang-format check"
 if command -v clang-format >/dev/null 2>&1; then
   # Fixture files deliberately violate style/rules; skip them.
   mapfile -t sources < <(git ls-files '*.h' '*.cpp' | grep -v lint_fixtures)
-  clang-format --dry-run -Werror "${sources[@]}"
-  echo "clang-format: ${#sources[@]} files clean"
+  if clang-format --dry-run -Werror "${sources[@]}"; then
+    echo "clang-format: ${#sources[@]} files clean"
+    record format ok
+  else
+    record format FAIL 10
+  fi
 else
   echo "clang-format not installed; skipping format check"
+  record format skipped
 fi
 
-step "sitam_lint (whole tree)"
-cmake --preset release >/dev/null
-cmake --build --preset release -j "${jobs}" --target sitam_lint
-./build/tools/sitam_lint --root="${repo_root}"
-
-if [[ "${skip_sanitizers}" -eq 1 ]]; then
-  echo "sanitizer builds skipped (--skip-sanitizers)"
-  exit 0
+# --- lint ------------------------------------------------------------------
+step "lint: sitam_lint (whole tree, incremental)"
+# Reuse build/ as-is when it is already configured (possibly with a
+# different generator than the release preset's Ninja).
+if [[ -f build/CMakeCache.txt ]] || cmake --preset release >/dev/null; then
+  lint_configured=1
+else
+  lint_configured=0
+fi
+if [[ ${lint_configured} -eq 1 ]] &&
+   cmake --build build -j "${jobs}" --target sitam_lint &&
+   ./build/tools/sitam_lint --root="${repo_root}" \
+       --cache=build/lint_cache.txt \
+       --sarif=build/lint_findings.sarif \
+       --dot=build/subsystem_graph.dot; then
+  echo "lint artifacts: build/lint_findings.sarif, build/subsystem_graph.dot"
+  record lint ok
+else
+  record lint FAIL 11
 fi
 
-for preset in asan ubsan; do
-  step "${preset}: build + tier-1 tests"
-  cmake --preset "${preset}" >/dev/null
-  cmake --build --preset "${preset}" -j "${jobs}"
-  ctest --preset "${preset}" -j "${jobs}"
+# --- tidy (non-gating) -----------------------------------------------------
+step "tidy: clang-tidy (non-gating)"
+if command -v clang-tidy >/dev/null 2>&1 &&
+   [[ -f build/compile_commands.json ]]; then
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cpp')
+  if clang-tidy -p build --quiet "${tidy_sources[@]}"; then
+    record tidy ok
+  else
+    echo "clang-tidy reported findings (non-gating; see output above)"
+    record tidy "FAIL (non-gating)"
+  fi
+else
+  echo "clang-tidy or build/compile_commands.json absent; skipping"
+  record tidy skipped
+fi
+
+# --- sanitizers ------------------------------------------------------------
+if [[ "${quick}" -eq 1 ]]; then
+  echo
+  echo "sanitizer builds skipped (--quick)"
+  record asan skipped
+  record ubsan skipped
+else
+  code=12
+  for preset in asan ubsan; do
+    step "${preset}: build + tier-1 tests"
+    if cmake --preset "${preset}" >/dev/null &&
+       cmake --build --preset "${preset}" -j "${jobs}" &&
+       ctest --preset "${preset}" -j "${jobs}"; then
+      record "${preset}" ok
+    else
+      record "${preset}" FAIL "${code}"
+    fi
+    code=$((code + 1))
+  done
+fi
+
+# --- summary ---------------------------------------------------------------
+printf '\n%-8s %s\n' "stage" "status"
+printf '%-8s %s\n' "-----" "------"
+for i in "${!stage_names[@]}"; do
+  printf '%-8s %s\n' "${stage_names[$i]}" "${stage_statuses[$i]}"
 done
-
 echo
-echo "static analysis: all gates passed"
+if [[ ${exit_code} -eq 0 ]]; then
+  echo "static analysis: all gating stages passed"
+else
+  echo "static analysis: FAILED (exit ${exit_code})"
+fi
+exit "${exit_code}"

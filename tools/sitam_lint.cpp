@@ -3,14 +3,16 @@
 //   sitam_lint [options] [path...]
 //
 // With no paths, scans src/, tools/, bench/, tests/ and examples/ under
-// --root. Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage or
-// I/O error. Output is machine-readable, one finding per line:
+// --root. Exit status: 0 = clean, 1 = unsuppressed findings (or stale
+// allowlist entries on a full scan), 2 = usage or I/O error. Output is
+// machine-readable, one finding per line:
 //
 //   file:line: [SLxxx] message
 //
 // See docs/STATIC_ANALYSIS.md for the rule catalogue.
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,7 +28,16 @@ void print_usage(std::ostream& os) {
         "  --allowlist=FILE    allowlist file (default: ROOT/tools/\n"
         "                      lint_allowlist.txt when present)\n"
         "  --no-allowlist      ignore the default allowlist\n"
+        "  --allow-stale       stale allowlist entries warn instead of\n"
+        "                      failing a full scan\n"
         "  --include-fixtures  also scan lint_fixtures/ directories\n"
+        "  --cache=FILE        incremental mode: re-lint only files whose\n"
+        "                      content (or sibling header) changed\n"
+        "  --sarif=FILE        also write findings as SARIF 2.1.0\n"
+        "  --dot=FILE          write the subsystem include graph (SL014)\n"
+        "                      as a Graphviz digraph\n"
+        "  --explain SLxxx     print the long-form rule doc and exit\n"
+        "                      (--explain=SLxxx also accepted)\n"
         "  --list-rules        print the rule catalogue and exit\n"
         "  -q, --quiet         findings only, no summary\n";
 }
@@ -38,7 +49,10 @@ int main(int argc, char** argv) {
   sitam::lint::Options options;
   options.root = fs::current_path();
   std::string allowlist_arg;
+  std::string sarif_arg;
+  std::string dot_arg;
   bool no_allowlist = false;
+  bool allow_stale = false;
   bool quiet = false;
   std::vector<std::string> raw_paths;
 
@@ -55,14 +69,34 @@ int main(int argc, char** argv) {
         std::cout << rule.id << "  " << rule.summary << '\n';
       }
       return 0;
+    } else if (arg.rfind("--explain=", 0) == 0 ||
+               (arg == "--explain" && i + 1 < argc)) {
+      const std::string id =
+          arg == "--explain" ? std::string(argv[++i]) : value("--explain=");
+      const char* doc = sitam::lint::explain(id);
+      if (doc == nullptr) {
+        std::cerr << "sitam_lint: unknown rule: " << id
+                  << " (try --list-rules)\n";
+        return 2;
+      }
+      std::cout << id << " — " << doc;
+      return 0;
     } else if (arg.rfind("--root=", 0) == 0) {
       options.root = fs::path(value("--root="));
     } else if (arg.rfind("--allowlist=", 0) == 0) {
       allowlist_arg = value("--allowlist=");
     } else if (arg == "--no-allowlist") {
       no_allowlist = true;
+    } else if (arg == "--allow-stale") {
+      allow_stale = true;
     } else if (arg == "--include-fixtures") {
       options.skip_fixture_dirs = false;
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      options.cache_file = fs::path(value("--cache="));
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_arg = value("--sarif=");
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_arg = value("--dot=");
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -76,7 +110,8 @@ int main(int argc, char** argv) {
 
   try {
     options.root = fs::absolute(options.root).lexically_normal();
-    if (raw_paths.empty()) {
+    const bool full_scan = raw_paths.empty();
+    if (full_scan) {
       for (const char* dir :
            {"src", "tools", "bench", "tests", "examples"}) {
         const fs::path candidate = options.root / dir;
@@ -104,16 +139,49 @@ int main(int argc, char** argv) {
 
     const sitam::lint::Report report = sitam::lint::run(options);
     sitam::lint::print_findings(std::cout, report.findings);
+
+    if (!sarif_arg.empty()) {
+      std::ofstream out(sarif_arg, std::ios::trunc);
+      if (!out) {
+        std::cerr << "sitam_lint: cannot write " << sarif_arg << '\n';
+        return 2;
+      }
+      sitam::lint::write_sarif(out, report);
+    }
+    if (!dot_arg.empty()) {
+      std::ofstream out(dot_arg, std::ios::trunc);
+      if (!out) {
+        std::cerr << "sitam_lint: cannot write " << dot_arg << '\n';
+        return 2;
+      }
+      out << sitam::lint::render_subsystem_dot(report);
+    }
+
+    // A stale allowlist entry means the debt it documented is gone: on a
+    // full scan that is an error (satellite 2) so entries cannot rot. On a
+    // partial scan (explicit paths) most entries legitimately match
+    // nothing, so staleness is only advisory.
+    const bool stale_is_fatal =
+        full_scan && !allow_stale && !report.stale_allowlist.empty();
     for (const auto& entry : report.stale_allowlist) {
-      std::cerr << "sitam_lint: warning: stale allowlist entry (no match): "
-                << entry.rule << ' ' << entry.path << '\n';
+      std::cerr << "sitam_lint: " << (stale_is_fatal ? "error" : "warning")
+                << ": stale allowlist entry (no match): " << entry.rule
+                << ' ' << entry.path
+                << (stale_is_fatal ? " — remove it (or pass --allow-stale)"
+                                   : "")
+                << '\n';
     }
     if (!quiet) {
       std::cerr << "sitam_lint: " << report.files_scanned << " files, "
                 << report.findings.size() << " finding(s), "
-                << report.suppressed.size() << " suppressed\n";
+                << report.suppressed.size() << " suppressed";
+      if (!options.cache_file.empty()) {
+        std::cerr << ", cache " << report.cache_hits << " hit / "
+                  << report.cache_misses << " miss";
+      }
+      std::cerr << '\n';
     }
-    return report.findings.empty() ? 0 : 1;
+    return (report.findings.empty() && !stale_is_fatal) ? 0 : 1;
   } catch (const std::exception& err) {
     std::cerr << err.what() << '\n';
     return 2;
