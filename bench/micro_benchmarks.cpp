@@ -3,15 +3,17 @@
 // architecture evaluation (incl. Algorithm 1 scheduling) and the full
 // Algorithm 2 optimizer — serial and parallel/memoized.
 //
-// Before the registered benchmarks run, main() measures the multi-start
-// annealing chains serial-without-memo vs pooled-with-memo and writes the
-// comparison to BENCH_parallel.json in the working directory (skip with
-// --no_parallel_report).
+// Before the registered benchmarks run, main() measures the multi-restart
+// Algorithm 2 optimizer as the plain serial paper implementation vs the
+// full accelerated stack (restart pool + memo + delta evaluation) and
+// writes the comparison to BENCH_parallel.json in the working directory
+// (skip with --no_parallel_report).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -345,44 +347,72 @@ BENCHMARK(BM_OptimizeTamTraced)->Arg(0)->Arg(1)
 // ---------------------------------------------------------------------------
 
 void write_parallel_report(const std::string& path) {
-  // Annealing chains exercise both halves of the tentpole: the chain
-  // fan-out across the pool and the memo cache (whose hit rate dominates
-  // the speedup on single-core hosts, where the pool can't help). d695's
-  // compact architecture space keeps the chains re-proposing seen designs
-  // (hit rate ~85 %), so the scalar t_soc cache answers most scoring
-  // calls without running the timing model.
-  const Soc soc = load_benchmark("d695");
-  const int w_max = 16;
-  const int chains = 8;
+  // Serial baseline vs the full accelerated stack on the multi-restart
+  // Algorithm 2 optimizer. The baseline is the plain paper implementation:
+  // one restart after another on one thread, every candidate scored by the
+  // full timing model (no memo, no delta front-end). The accelerated leg
+  // enables everything the repo builds on top: the restart pool (clamped
+  // to the hardware — on a single-core host the pool contributes nothing
+  // and the evaluation stack is the entire story), the t_soc memo, and
+  // the incremental delta evaluator in front of it. The winner rule is
+  // (t_soc, restart index), independent of the thread count and of the
+  // scoring path, so both legs produce bit-identical results; the JSON
+  // records every knob so the speedup is attributable. The restart loop —
+  // not the annealing chains — is the subject because its mergeTAMs /
+  // wire-redistribution probes re-score candidate after candidate without
+  // copying architectures, which is exactly the move-heavy sequence the
+  // delta path accelerates (the annealing loop spends its time copying
+  // the candidate architecture, which no scoring stack can speed up).
+  const Soc soc = load_benchmark("p93791");
+  const int w_max = 32;
+  const int restarts = 8;
   const TestTimeTable table(soc, w_max);
   const SiTestSet tests = sample_tests(soc, 8);
 
-  AnnealingConfig serial;
-  serial.iterations = 20000;
-  serial.chains = chains;
+  OptimizerConfig serial;
+  serial.restarts = restarts;
   serial.threads = 1;
   serial.evaluator.memoize = false;
+  serial.delta_eval = false;
 
-  AnnealingConfig parallel = serial;
-  parallel.threads = 8;
+  // Oversubscribing a host with fewer cores than restarts measures
+  // scheduler thrash, not the architecture: the pool is clamped to the
+  // hardware and the JSON records the thread count that actually ran.
+  const int pool_threads =
+      std::max(1, std::min(restarts, ThreadPool::hardware_threads()));
+  OptimizerConfig parallel = serial;
+  parallel.threads = pool_threads;
   parallel.evaluator.memoize = true;
+  parallel.delta_eval = true;
 
-  Stopwatch serial_watch;
-  const OptimizeResult serial_result =
-      optimize_tam_annealing(soc, table, tests, w_max, serial);
-  const double serial_seconds = serial_watch.seconds();
+  // Min-of-N timing per mode (first run doubles as the result used by the
+  // identity check — the optimization is deterministic, so any run would
+  // do). The minimum is the noise-robust estimator: interference only
+  // ever adds time.
+  constexpr int kReps = 3;
+  double serial_seconds = std::numeric_limits<double>::infinity();
+  OptimizeResult serial_result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch watch;
+    OptimizeResult result = optimize_tam(soc, table, tests, w_max, serial);
+    serial_seconds = std::min(serial_seconds, watch.seconds());
+    if (rep == 0) serial_result = std::move(result);
+  }
 
-  Stopwatch parallel_watch;
-  const OptimizeResult parallel_result =
-      optimize_tam_annealing(soc, table, tests, w_max, parallel);
-  const double parallel_seconds = parallel_watch.seconds();
+  double parallel_seconds = std::numeric_limits<double>::infinity();
+  OptimizeResult parallel_result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch watch;
+    OptimizeResult result = optimize_tam(soc, table, tests, w_max, parallel);
+    parallel_seconds = std::min(parallel_seconds, watch.seconds());
+    if (rep == 0) parallel_result = std::move(result);
+  }
 
   obs::RunManifest manifest = obs::RunManifest::collect("micro_benchmarks");
   manifest.scenario = soc.name;
-  manifest.seed = serial.seed;
+  manifest.seed = serial.restart_seed;
   manifest.threads = parallel.threads;
-  manifest.add_extra("chains", std::to_string(chains));
-  manifest.add_extra("iterations", std::to_string(serial.iterations));
+  manifest.add_extra("restarts", std::to_string(restarts));
 
   JsonWriter json;
   json.begin_object();
@@ -390,24 +420,28 @@ void write_parallel_report(const std::string& path) {
   manifest.write(json);
   json.key("soc").value(soc.name);
   json.key("w_max").value(std::int64_t{w_max});
-  json.key("chains").value(std::int64_t{chains});
-  json.key("iterations").value(std::int64_t{serial.iterations});
+  json.key("restarts").value(std::int64_t{restarts});
   json.key("hardware_threads").value(
       std::int64_t{ThreadPool::hardware_threads()});
   json.key("serial").begin_object();
   json.key("threads").value(std::int64_t{1});
   json.key("memoize").value(false);
+  json.key("delta_eval").value(false);
   json.key("seconds").value(serial_seconds);
   json.key("evaluations").value(serial_result.stats.evaluations);
   json.key("t_soc").value(serial_result.evaluation.t_soc);
   json.end_object();
   json.key("parallel").begin_object();
-  json.key("threads").value(std::int64_t{8});
+  json.key("threads").value(std::int64_t{pool_threads});
   json.key("memoize").value(true);
+  json.key("delta_eval").value(true);
   json.key("seconds").value(parallel_seconds);
   json.key("evaluations").value(parallel_result.stats.evaluations);
-  json.key("cache_hits").value(parallel_result.stats.cache_hits);
-  json.key("cache_hit_rate").value(parallel_result.stats.hit_rate());
+  json.key("memo_hits").value(parallel_result.stats.cache_hits);
+  json.key("delta_hits").value(parallel_result.stats.delta_hits);
+  // Memo + delta hits over all evaluations: the fraction of scoring calls
+  // that never ran the full timing model.
+  json.key("hit_rate").value(parallel_result.stats.hit_rate());
   json.key("t_soc").value(parallel_result.evaluation.t_soc);
   json.end_object();
   json.key("speedup").value(
@@ -422,7 +456,7 @@ void write_parallel_report(const std::string& path) {
   std::cout << "wrote " << path << ": serial " << serial_seconds
             << " s, parallel " << parallel_seconds << " s ("
             << serial_seconds / std::max(1e-9, parallel_seconds)
-            << "x), memo hit rate "
+            << "x), memo+delta hit rate "
             << 100.0 * parallel_result.stats.hit_rate() << " %\n";
 }
 

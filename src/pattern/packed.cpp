@@ -160,7 +160,12 @@ PackedSweepIndex::PackedSweepIndex(const PackedPatternSet& set)
 }
 
 PackedAccumulator::PackedAccumulator(PackedLayout layout)
+    : PackedAccumulator(layout, packed_active_kernels()) {}
+
+PackedAccumulator::PackedAccumulator(PackedLayout layout,
+                                     const PackedKernels& kernels)
     : layout_(layout),
+      kernels_(&kernels),
       planes_(std::max<std::size_t>(
           1, static_cast<std::size_t>(layout.signal_words()))),
       bus_mask_(static_cast<std::size_t>(layout.bus_words()), 0),
@@ -185,15 +190,13 @@ bool PackedAccumulator::fits(const PackedPatternSet& set,
   // accept decisions need into one cache line per candidate.
   const PackedHeader& h = set.header(i);
   if ((h.summary & summary_) != 0) {
-    const PackedSlot* s = set.slot_data() + h.slot_begin;
+    const PackedSlot* const s = set.slot_data() + h.slot_begin;
     const PackedSlot* const end = set.slot_data() + h.slot_end;
-    for (; s != end; ++s) {
-      const PlaneWord& p = planes_[s->word];
-      if ((s->care & p.care &
-           ((s->value ^ p.value) | (s->active ^ p.active))) != 0) {
-        return false;
-      }
-    }
+#if SITAM_PACKED_KERNEL_DISPATCH
+    if (kernels_->slots_conflict(s, end, planes_.data())) return false;
+#else
+    if (packed_scalar_slots_conflict(s, end, planes_.data())) return false;
+#endif
   }
   return fits_bus(set, i, h.bus_word0, h.uniform_driver);
 }

@@ -1,0 +1,67 @@
+// Plane-sweep kernel registry and runtime dispatch (see packed.h for the
+// kernel-table contract). The scalar implementations live inline in
+// packed.h so SITAM_SIMD=OFF builds keep the fully-inlined probes; this TU
+// wraps them into table entries and resolves which SIMD set — if any — the
+// build compiled and the running CPU supports. The resolution is a pure
+// read of immutable tables plus a CPU-feature query, so there is no
+// mutable global state and the accessors are trivially reentrant.
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "pattern/packed.h"
+
+namespace sitam {
+
+namespace {
+
+// Out-of-line wrappers: table entries need function pointers, and the
+// inline header kernels have no unique address across TUs.
+bool scalar_record_conflict(const PackedSweepIndex::Record& r,
+                            const PackedSlot* slot_base,
+                            const PlaneWord* planes) {
+  return packed_scalar_record_conflict(r, slot_base, planes);
+}
+
+bool scalar_slots_conflict(const PackedSlot* s, const PackedSlot* end,
+                           const PlaneWord* planes) {
+  return packed_scalar_slots_conflict(s, end, planes);
+}
+
+// Every kernel set this build compiled, scalar first. packed_all_kernels()
+// exposes a prefix of this array: the SIMD entry is included only when the
+// running CPU can execute it.
+constexpr std::array kKernelTable = {
+    PackedKernels{"scalar", &scalar_record_conflict, &scalar_slots_conflict},
+#if defined(SITAM_SIMD_AVX2)
+    PackedKernels{"avx2", &packed_avx2_record_conflict,
+                  &packed_avx2_slots_conflict},
+#elif defined(SITAM_SIMD_NEON)
+    PackedKernels{"neon", &packed_neon_record_conflict,
+                  &packed_neon_slots_conflict},
+#endif
+};
+
+}  // namespace
+
+const PackedKernels& packed_scalar_kernels() { return kKernelTable[0]; }
+
+std::span<const PackedKernels> packed_all_kernels() {
+#if defined(SITAM_SIMD_AVX2)
+  // NEON is unconditional on aarch64; AVX2 needs the runtime check (the
+  // binary may have been built on, or copied to, a pre-AVX2 x86-64 CPU).
+  if (__builtin_cpu_supports("avx2") != 0) {
+    return {kKernelTable.data(), kKernelTable.size()};
+  }
+  return {kKernelTable.data(), 1};
+#else
+  return {kKernelTable.data(), kKernelTable.size()};
+#endif
+}
+
+const PackedKernels& packed_active_kernels() {
+  const std::span<const PackedKernels> all = packed_all_kernels();
+  return all[all.size() - 1];
+}
+
+}  // namespace sitam

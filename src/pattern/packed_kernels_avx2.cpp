@@ -1,0 +1,101 @@
+// AVX2 plane-sweep kernels (see the kernel-table contract in packed.h).
+//
+// The scalar probes are 64-bit word-parallel per slot; these kernels widen
+// across slots, probing four at a time. Each slot needs the (care, value,
+// active) triple of its plane word; PlaneWord is exactly three u64s, so a
+// lane's planes sit at byte offset word*24 and one vpgatherqq per plane
+// pulls all four lanes. The conflict formula then runs lane-parallel:
+//
+//   conflict = care & p.care & ((value ^ p.value) | (active ^ p.active))
+//
+// and a single vptest decides the probe. A missing inlined slot carries
+// care 0 and word 0 — its lane gathers planes[0] (always allocated) and
+// contributes nothing, exactly like the scalar branch-free pairs.
+//
+// The vector probe evaluates all four slots where the scalar kernel early-
+// exits after a conflicting pair; only the returned boolean is observable,
+// so the decisions — and therefore compaction output — stay byte-identical
+// (packed_kernels_test enforces this against the scalar kernels).
+//
+// This TU is compiled with -mavx2 only when SITAM_SIMD is ON for an x86-64
+// target; callers reach it through the dispatch table, which checks
+// __builtin_cpu_supports("avx2") first. Raw intrinsics are sanctioned here
+// and in packed_kernels_neon.cpp only (lint rule SL016).
+#if defined(SITAM_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "pattern/packed.h"
+
+namespace sitam {
+
+namespace {
+
+static_assert(sizeof(PlaneWord) == 3 * sizeof(std::uint64_t),
+              "gather offsets assume densely packed PlaneWord triples");
+
+/// Gathers one plane (selected by `component`: 0 = care, 1 = value,
+/// 2 = active) for the four word indices in `idx` (given in u64 units,
+/// i.e. word * 3).
+inline __m256i gather_plane(const PlaneWord* planes, __m256i idx,
+                            int component) {
+  const long long* base = reinterpret_cast<const long long*>(planes);
+  return _mm256_i64gather_epi64(base + component, idx, 8);
+}
+
+/// Lane-parallel conflict formula; true iff any lane conflicts.
+inline bool lanes_conflict(__m256i care, __m256i value, __m256i active,
+                           const PlaneWord* planes, __m256i idx) {
+  const __m256i p_care = gather_plane(planes, idx, 0);
+  const __m256i p_value = gather_plane(planes, idx, 1);
+  const __m256i p_active = gather_plane(planes, idx, 2);
+  const __m256i conflict = _mm256_and_si256(
+      _mm256_and_si256(care, p_care),
+      _mm256_or_si256(_mm256_xor_si256(value, p_value),
+                      _mm256_xor_si256(active, p_active)));
+  return _mm256_testz_si256(conflict, conflict) == 0;
+}
+
+inline long long ll(std::uint64_t v) { return static_cast<long long>(v); }
+
+}  // namespace
+
+bool packed_avx2_record_conflict(const PackedSweepIndex::Record& r,
+                                 const PackedSlot* slot_base,
+                                 const PlaneWord* planes) {
+  const __m256i idx =
+      _mm256_set_epi64x(3LL * r.word[3], 3LL * r.word[2], 3LL * r.word[1],
+                        3LL * r.word[0]);
+  const __m256i care =
+      _mm256_set_epi64x(ll(r.care3), ll(r.care2), ll(r.care1), ll(r.care0));
+  const __m256i value = _mm256_set_epi64x(ll(r.value3), ll(r.value2),
+                                          ll(r.value1), ll(r.value0));
+  const __m256i active = _mm256_set_epi64x(ll(r.active3), ll(r.active2),
+                                           ll(r.active1), ll(r.active0));
+  if (lanes_conflict(care, value, active, planes, idx)) return true;
+  return packed_avx2_slots_conflict(slot_base + r.rest_begin,
+                                    slot_base + r.slot_end, planes);
+}
+
+bool packed_avx2_slots_conflict(const PackedSlot* s, const PackedSlot* end,
+                                const PlaneWord* planes) {
+  for (; end - s >= 4; s += 4) {
+    const __m256i idx =
+        _mm256_set_epi64x(3LL * s[3].word, 3LL * s[2].word, 3LL * s[1].word,
+                          3LL * s[0].word);
+    const __m256i care = _mm256_set_epi64x(ll(s[3].care), ll(s[2].care),
+                                           ll(s[1].care), ll(s[0].care));
+    const __m256i value = _mm256_set_epi64x(ll(s[3].value), ll(s[2].value),
+                                            ll(s[1].value), ll(s[0].value));
+    const __m256i active = _mm256_set_epi64x(ll(s[3].active), ll(s[2].active),
+                                             ll(s[1].active), ll(s[0].active));
+    if (lanes_conflict(care, value, active, planes, idx)) return true;
+  }
+  return packed_scalar_slots_conflict(s, end, planes);
+}
+
+}  // namespace sitam
+
+#endif  // defined(SITAM_SIMD_AVX2)

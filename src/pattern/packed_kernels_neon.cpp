@@ -1,0 +1,88 @@
+// NEON plane-sweep kernels (see the kernel-table contract in packed.h).
+//
+// NEON registers are 128-bit, so these kernels probe slot *pairs*: the
+// sweep record's two inlined pairs map directly onto two vector probes,
+// and the rest walk advances two slots per iteration. The conflict
+// formula runs lane-parallel, like the AVX2 kernels but at half the
+// width; NEON has no gather, so plane words load lane-by-lane (they are
+// scattered anyway — gathers buy nothing on two lanes).
+//
+// Decisions are byte-identical to the scalar kernels by the same argument
+// as the AVX2 TU: only the returned boolean is observable.
+//
+// This TU is compiled only when SITAM_SIMD is ON for an aarch64 target
+// (NEON is baseline there — no runtime feature check needed). Raw
+// intrinsics are sanctioned here and in packed_kernels_avx2.cpp only
+// (lint rule SL016).
+#if defined(SITAM_SIMD_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "pattern/packed.h"
+
+namespace sitam {
+
+namespace {
+
+inline uint64x2_t pair(std::uint64_t lo, std::uint64_t hi) {
+  return vcombine_u64(vcreate_u64(lo), vcreate_u64(hi));
+}
+
+/// Lane-parallel conflict formula over one slot pair; true iff either
+/// lane conflicts.
+inline bool lanes_conflict(uint64x2_t care, uint64x2_t value,
+                           uint64x2_t active, uint64x2_t p_care,
+                           uint64x2_t p_value, uint64x2_t p_active) {
+  const uint64x2_t conflict =
+      vandq_u64(vandq_u64(care, p_care),
+                vorrq_u64(veorq_u64(value, p_value),
+                          veorq_u64(active, p_active)));
+  return (vgetq_lane_u64(conflict, 0) | vgetq_lane_u64(conflict, 1)) != 0;
+}
+
+}  // namespace
+
+bool packed_neon_record_conflict(const PackedSweepIndex::Record& r,
+                                 const PackedSlot* slot_base,
+                                 const PlaneWord* planes) {
+  // Missing inlined slots carry care 0 and word 0 (planes[0] is always
+  // allocated), matching the scalar branch-free pairs.
+  const PlaneWord& p0 = planes[r.word[0]];
+  const PlaneWord& p1 = planes[r.word[1]];
+  if (lanes_conflict(pair(r.care0, r.care1), pair(r.value0, r.value1),
+                     pair(r.active0, r.active1), pair(p0.care, p1.care),
+                     pair(p0.value, p1.value), pair(p0.active, p1.active))) {
+    return true;
+  }
+  const PlaneWord& p2 = planes[r.word[2]];
+  const PlaneWord& p3 = planes[r.word[3]];
+  if (lanes_conflict(pair(r.care2, r.care3), pair(r.value2, r.value3),
+                     pair(r.active2, r.active3), pair(p2.care, p3.care),
+                     pair(p2.value, p3.value), pair(p2.active, p3.active))) {
+    return true;
+  }
+  return packed_neon_slots_conflict(slot_base + r.rest_begin,
+                                    slot_base + r.slot_end, planes);
+}
+
+bool packed_neon_slots_conflict(const PackedSlot* s, const PackedSlot* end,
+                                const PlaneWord* planes) {
+  for (; end - s >= 2; s += 2) {
+    const PlaneWord& pa = planes[s[0].word];
+    const PlaneWord& pb = planes[s[1].word];
+    if (lanes_conflict(pair(s[0].care, s[1].care),
+                       pair(s[0].value, s[1].value),
+                       pair(s[0].active, s[1].active), pair(pa.care, pb.care),
+                       pair(pa.value, pb.value),
+                       pair(pa.active, pb.active))) {
+      return true;
+    }
+  }
+  return packed_scalar_slots_conflict(s, end, planes);
+}
+
+}  // namespace sitam
+
+#endif  // defined(SITAM_SIMD_NEON)

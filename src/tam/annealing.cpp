@@ -32,12 +32,10 @@ TamArchitecture round_robin_start(int cores, int w_max) {
   return arch;
 }
 
-void insert_core(std::vector<int>& cores, int core) {
-  cores.insert(std::lower_bound(cores.begin(), cores.end(), core), core);
-}
-
 /// Applies one random mutation; returns false if the drawn move was not
-/// applicable to the current architecture (caller just retries).
+/// applicable to the current architecture (caller just retries). All core
+/// movement goes through the TestRail helpers so the incremental hash
+/// caches stay warm across the chain.
 bool mutate(TamArchitecture& arch, Rng& rng) {
   const auto rail_count = arch.rails.size();
   SITAM_DCHECK_MSG(rail_count > 0, "mutate on an empty architecture");
@@ -48,11 +46,11 @@ bool mutate(TamArchitecture& arch, Rng& rng) {
       if (arch.rails[from].cores.size() < 2) return false;
       auto to = static_cast<std::size_t>(rng.below(rail_count - 1));
       if (to >= from) ++to;
-      auto& src = arch.rails[from].cores;
-      const auto pick = static_cast<std::size_t>(rng.below(src.size()));
-      const int core = src[pick];
-      src.erase(src.begin() + static_cast<std::ptrdiff_t>(pick));
-      insert_core(arch.rails[to].cores, core);
+      const auto pick = static_cast<std::size_t>(
+          rng.below(arch.rails[from].cores.size()));
+      const int core = arch.rails[from].cores[pick];
+      arch.rails[from].erase_core(core);
+      arch.rails[to].insert_core(core);
       return true;
     }
     case 1: {  // move one wire to another rail
@@ -81,9 +79,9 @@ bool mutate(TamArchitecture& arch, Rng& rng) {
       for (std::uint64_t i = 0; i < moved_cores; ++i) {
         const auto pick =
             static_cast<std::size_t>(rng.below(rail.cores.size()));
-        insert_core(fresh.cores, rail.cores[pick]);
-        rail.cores.erase(rail.cores.begin() +
-                         static_cast<std::ptrdiff_t>(pick));
+        const int core = rail.cores[pick];
+        fresh.insert_core(core);
+        rail.erase_core(core);
       }
       arch.rails.push_back(std::move(fresh));
       return true;
@@ -93,11 +91,10 @@ bool mutate(TamArchitecture& arch, Rng& rng) {
       const auto a = static_cast<std::size_t>(rng.below(rail_count));
       auto b = static_cast<std::size_t>(rng.below(rail_count - 1));
       if (b >= a) ++b;
-      TestRail merged;
+      TestRail merged = arch.rails[a];
+      merged.merge_cores_from(arch.rails[b]);
       merged.width = arch.rails[a].width + arch.rails[b].width;
-      std::merge(arch.rails[a].cores.begin(), arch.rails[a].cores.end(),
-                 arch.rails[b].cores.begin(), arch.rails[b].cores.end(),
-                 std::back_inserter(merged.cores));
+      merged.id = -1;
       const auto hi = std::max(a, b);
       const auto lo = std::min(a, b);
       arch.rails.erase(arch.rails.begin() + static_cast<std::ptrdiff_t>(hi));

@@ -84,10 +84,24 @@ std::int64_t TamEvaluator::si_group_time(
 SiGroupTiming TamEvaluator::si_group_timing(
     const TamArchitecture& arch, int group_index,
     const std::vector<int>& rail_of_core) const {
+  SiGroupTiming item;
+  si_group_timing_into(arch, group_index, rail_of_core, item);
+  return item;
+}
+
+void TamEvaluator::si_group_timing_into(const TamArchitecture& arch,
+                                        int group_index,
+                                        const std::vector<int>& rail_of_core,
+                                        SiGroupTiming& out) const {
   const SiTestGroup& group =
       tests_->groups[static_cast<std::size_t>(group_index)];
-  rail_shift_.assign(arch.rails.size(), 0);
-  rail_cores_.assign(arch.rails.size(), 0);
+  // rail_shift_/rail_cores_ hold the all-zero invariant between calls;
+  // only the touched entries are reset on exit, so a small group on a wide
+  // architecture never pays for the untouched rails.
+  if (rail_shift_.size() < arch.rails.size()) {
+    rail_shift_.resize(arch.rails.size(), 0);
+    rail_cores_.resize(arch.rails.size(), 0);
+  }
   touched_rails_.clear();
   for (const int core : group.cores) {
     const int rail = rail_of_core[static_cast<std::size_t>(core)];
@@ -100,24 +114,34 @@ SiGroupTiming TamEvaluator::si_group_timing(
         core, arch.rails[static_cast<std::size_t>(rail)].width);
   }
   std::sort(touched_rails_.begin(), touched_rails_.end());
-  SiGroupTiming item;
-  item.group = group_index;
-  item.rails = touched_rails_;
-  item.rail_busy.reserve(touched_rails_.size());
+  out.group = group_index;
+  out.duration = 0;
+  out.bottleneck = -1;
+  out.rails.assign(touched_rails_.begin(), touched_rails_.end());
+  out.rail_busy.clear();
+  out.rail_busy.reserve(touched_rails_.size());
+  out.rail_shift.clear();
+  out.rail_shift.reserve(touched_rails_.size());
+  out.rail_count.clear();
+  out.rail_count.reserve(touched_rails_.size());
   // Rails ascending + strict `>` means the bottleneck is the lowest-index
   // rail attaining the max busy time.
   for (const int rail : touched_rails_) {
-    const std::int64_t t =
-        rail_si_busy(rail_shift_[static_cast<std::size_t>(rail)],
-                     rail_cores_[static_cast<std::size_t>(rail)],
-                     group.patterns);
-    item.rail_busy.push_back(t);
-    if (t > item.duration) {
-      item.duration = t;
-      item.bottleneck = rail;
+    const std::int64_t shift = rail_shift_[static_cast<std::size_t>(rail)];
+    const std::int64_t cores = rail_cores_[static_cast<std::size_t>(rail)];
+    const std::int64_t t = rail_si_busy(shift, cores, group.patterns);
+    out.rail_busy.push_back(t);
+    out.rail_shift.push_back(shift);
+    out.rail_count.push_back(static_cast<int>(cores));
+    if (t > out.duration) {
+      out.duration = t;
+      out.bottleneck = rail;
     }
   }
-  return item;
+  for (const int rail : touched_rails_) {
+    rail_shift_[static_cast<std::size_t>(rail)] = 0;
+    rail_cores_[static_cast<std::size_t>(rail)] = 0;
+  }
 }
 
 namespace {
@@ -267,7 +291,9 @@ Evaluation TamEvaluator::evaluate_uncached(const TamArchitecture& arch) const {
     }
   }
 
-  // InTest: sequential within a rail, parallel across rails.
+  // InTest: sequential within a rail, parallel across rails. The dense
+  // per-rail InTest array feeds the placement loop's release rule.
+  rail_time_in_scratch_.assign(arch.rails.size(), 0);
   for (std::size_t r = 0; r < arch.rails.size(); ++r) {
     std::int64_t sum = 0;
     for (const int core : arch.rails[r].cores) {
@@ -281,19 +307,23 @@ Evaluation TamEvaluator::evaluate_uncached(const TamArchitecture& arch) const {
       sum += t;
     }
     ev.rails[r].time_in = sum;
+    rail_time_in_scratch_[r] = sum;
     ev.t_in = std::max(ev.t_in, sum);
   }
 
   // SI test groups: duration, involved rails, bottleneck, per-rail busy
-  // time (CalculateSITestTime over all groups).
-  std::vector<SiGroupTiming> pending;
-  pending.reserve(tests_->groups.size());
+  // time (CalculateSITestTime over all groups). pending_scratch_ entries
+  // are overwritten in place so their heap blocks survive across calls.
+  std::size_t active = 0;
   for (std::size_t g = 0; g < tests_->groups.size(); ++g) {
     if (tests_->groups[g].patterns <= 0) continue;
-    pending.push_back(
-        si_group_timing(arch, static_cast<int>(g), rail_of_core_));
+    if (active == pending_scratch_.size()) pending_scratch_.emplace_back();
+    si_group_timing_into(arch, static_cast<int>(g), rail_of_core_,
+                         pending_scratch_[active]);
+    ++active;
   }
-  for (const SiGroupTiming& item : pending) {
+  pending_scratch_.resize(active);
+  for (const SiGroupTiming& item : pending_scratch_) {
     for (std::size_t k = 0; k < item.rails.size(); ++k) {
       ev.rails[static_cast<std::size_t>(item.rails[k])].time_si +=
           item.rail_busy[k];
@@ -304,8 +334,10 @@ Evaluation TamEvaluator::evaluate_uncached(const TamArchitecture& arch) const {
   // unspecified; the pick rule orders the candidate list (deterministic in
   // all cases). Both steps are shared with DeltaEvaluator (tam/schedule.h)
   // so the two paths stay bit-identical.
-  detail::sort_pending(pending, options_.pick);
-  ev.schedule = detail::schedule_pending(pending, *tests_, options_, ev.rails);
+  detail::pick_order(pending_scratch_, options_.pick, order_scratch_);
+  detail::schedule_pending(pending_scratch_, order_scratch_, *tests_,
+                           options_, rail_time_in_scratch_, schedule_ws_,
+                           ev.schedule);
 
   if (options_.interleave_phases) {
     // Item timestamps are absolute; T_soc is the combined makespan and

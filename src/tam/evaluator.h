@@ -24,6 +24,7 @@
 #include "sitest/group.h"
 #include "soc/soc.h"
 #include "tam/architecture.h"
+#include "tam/schedule_workspace.h"
 #include "wrapper/design.h"
 
 namespace sitam {
@@ -105,6 +106,14 @@ struct SiGroupTiming {
   int bottleneck = -1;
   std::vector<int> rails;               ///< Involved rail indices, ascending.
   std::vector<std::int64_t> rail_busy;  ///< T_r(s), parallel to `rails`.
+  // Raw CalculateSITestTime inputs, parallel to `rails`: the summed
+  // per-pattern WOC shift and the member-core count on each involved rail.
+  // rail_busy is a pure function of (rail_shift, rail_count, patterns), so
+  // carrying the inputs lets the delta evaluator patch a group's timing
+  // under a single-core move by adjusting two entries instead of
+  // re-walking every member core (DESIGN.md §"wall-clock engineering").
+  std::vector<std::int64_t> rail_shift;  ///< Σ ceil(WOC/width), per rail.
+  std::vector<int> rail_count;           ///< Member cores on each rail.
 };
 
 /// One scheduled SI test (the paper's SI-test data structure, Fig. 4).
@@ -239,6 +248,13 @@ class TamEvaluator {
       const TamArchitecture& arch, int group_index,
       const std::vector<int>& rail_of_core) const;
 
+  /// In-place variant of si_group_timing: overwrites `out`, recycling its
+  /// vector capacity. The delta path refreshes one dirty group per move this
+  /// way, so the steady state allocates nothing.
+  void si_group_timing_into(const TamArchitecture& arch, int group_index,
+                            const std::vector<int>& rail_of_core,
+                            SiGroupTiming& out) const;
+
   /// Uncached, uncounted full evaluation — the reference the delta path is
   /// checked against under SITAM_DCHECK and in the differential tests.
   /// Bypasses the memo cache and does not touch the stats counters.
@@ -271,11 +287,14 @@ class TamEvaluator {
   [[nodiscard]] static std::uint64_t architecture_hash(
       const TamArchitecture& arch, std::uint64_t salt = 0);
 
- private:
-  // SI busy time of one rail given per-pattern scan length and core count.
+  /// SI busy time of one rail given per-pattern scan length and core
+  /// count. Public for the delta evaluator, which rebuilds a patched
+  /// group's rail_busy from the cached (rail_shift, rail_count) inputs.
   [[nodiscard]] std::int64_t rail_si_busy(std::int64_t shift,
                                           std::int64_t involved_cores,
                                           std::int64_t patterns) const;
+
+ private:
 
   // The uncached timing model (the body of evaluate()).
   [[nodiscard]] Evaluation evaluate_uncached(const TamArchitecture& arch) const;
@@ -292,6 +311,10 @@ class TamEvaluator {
   mutable std::vector<std::int64_t> rail_shift_;  // l_r(s) accumulator
   mutable std::vector<std::int64_t> rail_cores_;  // |C(r) ∩ C(s)| accumulator
   mutable std::vector<int> touched_rails_;
+  mutable std::vector<SiGroupTiming> pending_scratch_;
+  mutable std::vector<int> order_scratch_;
+  mutable std::vector<std::int64_t> rail_time_in_scratch_;
+  mutable detail::ScheduleWorkspace schedule_ws_;
 
   // Guards the memo caches and the stats counters below. Probes, counter
   // bumps and inserts happen under it; evaluate_uncached runs outside it.

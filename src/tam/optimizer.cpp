@@ -66,17 +66,28 @@ class Optimizer {
     return config_.delta_eval ? delta_.evaluate(arch) : eval_.evaluate(arch);
   }
 
+  /// Per-rail times of `arch` — the time_used scoring loops read nothing
+  /// else, and the delta path serves them without materializing InTest
+  /// slots or a schedule copy. The reference is invalidated by the next
+  /// evaluation of any architecture.
+  [[nodiscard]] const std::vector<RailTimes>& rail_times(
+      const TamArchitecture& arch) const {
+    if (config_.delta_eval) return delta_.rail_times(arch);
+    eval_scratch_ = eval_.evaluate(arch);
+    return eval_scratch_.rails;
+  }
+
   [[nodiscard]] int fresh_id() { return next_id_++; }
 
   /// Rail indices sorted by time_used, descending (ties: lower index).
   [[nodiscard]] std::vector<std::size_t> order_by_time_used(
       const TamArchitecture& arch) const {
-    const Evaluation ev = evaluate(arch);
+    const std::vector<RailTimes>& rails = rail_times(arch);
     std::vector<std::size_t> order(arch.rails.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (ev.rails[a].time_used != ev.rails[b].time_used) {
-        return ev.rails[a].time_used > ev.rails[b].time_used;
+      if (rails[a].time_used != rails[b].time_used) {
+        return rails[a].time_used > rails[b].time_used;
       }
       return a < b;
     });
@@ -90,10 +101,10 @@ class Optimizer {
   /// Cheap rule: each wire goes to the rail with the largest time_used.
   void distribute_cheap(TamArchitecture& arch, int wires) const {
     for (int i = 0; i < wires; ++i) {
-      const Evaluation ev = evaluate(arch);
+      const std::vector<RailTimes>& rails = rail_times(arch);
       std::size_t pick = 0;
       for (std::size_t r = 1; r < arch.rails.size(); ++r) {
-        if (ev.rails[r].time_used > ev.rails[pick].time_used) pick = r;
+        if (rails[r].time_used > rails[pick].time_used) pick = r;
       }
       ++arch.rails[pick].width;
     }
@@ -131,14 +142,12 @@ class Optimizer {
     for (std::size_t r = 0; r < arch.rails.size(); ++r) {
       if (r != a && r != b) out.rails.push_back(arch.rails[r]);
     }
-    TestRail merged_rail;
+    // Copy + merge_cores_from keeps the incremental hash cache warm: the
+    // merged rail's sums are the two parents' sums added in O(1).
+    TestRail merged_rail = arch.rails[a];
+    merged_rail.merge_cores_from(arch.rails[b]);
     merged_rail.width = width;
     merged_rail.id = id;
-    merged_rail.cores.reserve(arch.rails[a].cores.size() +
-                              arch.rails[b].cores.size());
-    std::merge(arch.rails[a].cores.begin(), arch.rails[a].cores.end(),
-               arch.rails[b].cores.begin(), arch.rails[b].cores.end(),
-               std::back_inserter(merged_rail.cores));
     out.rails.push_back(std::move(merged_rail));
     return out;
   }
@@ -279,11 +288,11 @@ class Optimizer {
     while (guard-- > 0) {
       std::size_t pick = arch.rails.size();
       std::int64_t pick_used = -1;
-      const Evaluation ev = evaluate(arch);
+      const std::vector<RailTimes>& rails = rail_times(arch);
       for (std::size_t r = 0; r < arch.rails.size(); ++r) {
         if (skip.count(arch.rails[r].id) != 0) continue;
-        if (ev.rails[r].time_used > pick_used) {
-          pick_used = ev.rails[r].time_used;
+        if (rails[r].time_used > pick_used) {
+          pick_used = rails[r].time_used;
           pick = r;
         }
       }
@@ -323,10 +332,8 @@ class Optimizer {
           for (std::size_t to = 0; to < arch.rails.size(); ++to) {
             if (to == from) continue;
             TamArchitecture cand = arch;
-            auto& src = cand.rails[from].cores;
-            src.erase(std::find(src.begin(), src.end(), core));
-            auto& dst = cand.rails[to].cores;
-            dst.insert(std::lower_bound(dst.begin(), dst.end(), core), core);
+            cand.rails[from].erase_core(core);
+            cand.rails[to].insert_core(core);
             const std::int64_t t = t_soc(cand);
             if (t < best_t) {
               best_t = t;
@@ -338,11 +345,8 @@ class Optimizer {
         }
       }
       if (best_core < 0) break;
-      auto& src = arch.rails[best_from].cores;
-      src.erase(std::find(src.begin(), src.end(), best_core));
-      auto& dst = arch.rails[best_to].cores;
-      dst.insert(std::lower_bound(dst.begin(), dst.end(), best_core),
-                 best_core);
+      arch.rails[best_from].erase_core(best_core);
+      arch.rails[best_to].insert_core(best_core);
     }
   }
 
@@ -354,6 +358,9 @@ class Optimizer {
   // Mutable for the same reason eval_'s internals are: scoring a candidate
   // does not change the observable optimizer state.
   mutable DeltaEvaluator delta_;
+  // Holds the last full evaluation behind rail_times() on the non-delta
+  // path (assignment recycles its vector capacity).
+  mutable Evaluation eval_scratch_;
   int next_id_ = 0;
 };
 

@@ -1,0 +1,24 @@
+// Reusable per-call state of the Algorithm-1 placement loop
+// (detail::schedule_pending in tam/schedule.h). Split out of schedule.h so
+// evaluator.h can embed a workspace without an include cycle: schedule.h
+// depends on the evaluator's SiGroupTiming/EvaluatorOptions types, this
+// header depends on nothing but the standard library.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sitam::detail {
+
+/// Buffers grow to the workload's high-water mark and are then recycled; a
+/// default-constructed workspace is valid for any schedule_pending call.
+struct ScheduleWorkspace {
+  std::vector<std::int64_t> release;  // per order position
+  std::vector<std::uint8_t> scheduled;
+  std::vector<std::uint8_t> occupied;  // per rail
+  // (end, order position) pairs for SI tests still running at curr_time.
+  std::vector<std::pair<std::int64_t, int>> running;
+};
+
+}  // namespace sitam::detail

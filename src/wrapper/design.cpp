@@ -170,41 +170,26 @@ int pareto_width(const Module& module, int width) {
 }
 
 TestTimeTable::TestTimeTable(const Soc& soc, int max_width)
-    : max_width_(max_width) {
+    : max_width_(max_width),
+      core_count_(static_cast<int>(soc.modules.size())) {
   if (max_width <= 0) {
     throw std::invalid_argument("TestTimeTable: max_width must be positive");
   }
-  intest_.reserve(soc.modules.size());
+  const auto widths = static_cast<std::size_t>(max_width);
+  intest_.resize(soc.modules.size() * widths);
+  woc_shift_.resize(soc.modules.size() * widths);
   woc_.reserve(soc.modules.size());
-  for (const Module& m : soc.modules) {
-    std::vector<std::int64_t> row(static_cast<std::size_t>(max_width));
+  for (std::size_t c = 0; c < soc.modules.size(); ++c) {
+    const Module& m = soc.modules[c];
+    const std::int64_t woc = m.woc();
     for (int w = 1; w <= max_width; ++w) {
-      row[static_cast<std::size_t>(w - 1)] = intest_time(m, w);
+      intest_[c * widths + static_cast<std::size_t>(w - 1)] =
+          intest_time(m, w);
+      woc_shift_[c * widths + static_cast<std::size_t>(w - 1)] =
+          (woc + w - 1) / w;
     }
-    intest_.push_back(std::move(row));
     woc_.push_back(m.woc());
   }
-}
-
-void TestTimeTable::check_core(int core) const {
-  SITAM_CHECK_MSG(core >= 0 && core < core_count(),
-                  "core index " << core << " out of range [0, "
-                                << core_count() << ")");
-}
-
-std::int64_t TestTimeTable::intest(int core, int width) const {
-  check_core(core);
-  SITAM_CHECK_MSG(width >= 1, "width " << width << " must be >= 1");
-  const int w = std::min(width, max_width_);
-  return intest_[static_cast<std::size_t>(core)]
-                [static_cast<std::size_t>(w - 1)];
-}
-
-std::int64_t TestTimeTable::woc_shift(int core, int width) const {
-  check_core(core);
-  SITAM_CHECK_MSG(width >= 1, "width " << width << " must be >= 1");
-  const std::int64_t woc = woc_[static_cast<std::size_t>(core)];
-  return (woc + width - 1) / width;
 }
 
 }  // namespace sitam

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "soc/soc.h"
+#include "util/check.h"
 
 namespace sitam {
 
@@ -83,30 +84,57 @@ struct WrapperDesign {
 
 /// Precomputed per-core test-time tables for widths 1..max_width. The TAM
 /// optimizer evaluates thousands of candidate architectures; this makes a
-/// per-core lookup O(1).
+/// per-core lookup O(1). Both lookups are flat-array loads and inline —
+/// they sit on the innermost loops of schedule evaluation (the delta
+/// evaluator's dirty-rail InTest sums and CalculateSITestTime's per-core
+/// WOC shifts), where an out-of-line call plus a 64-bit division per core
+/// was a measurable slice of the evaluation.
 class TestTimeTable {
  public:
   /// Throws std::invalid_argument if max_width <= 0.
   TestTimeTable(const Soc& soc, int max_width);
 
-  [[nodiscard]] int core_count() const {
-    return static_cast<int>(intest_.size());
-  }
+  [[nodiscard]] int core_count() const { return core_count_; }
   [[nodiscard]] int max_width() const { return max_width_; }
 
   /// InTest time of core `core` (0-based index into Soc::modules) at
   /// `width`; widths above max_width() clamp (time is non-increasing).
-  [[nodiscard]] std::int64_t intest(int core, int width) const;
+  [[nodiscard]] std::int64_t intest(int core, int width) const {
+    check_core(core);
+    SITAM_CHECK_MSG(width >= 1, "width " << width << " must be >= 1");
+    const int w = width < max_width_ ? width : max_width_;
+    return intest_[static_cast<std::size_t>(core) *
+                       static_cast<std::size_t>(max_width_) +
+                   static_cast<std::size_t>(w - 1)];
+  }
 
   /// ceil(woc / width) for core `core`.
-  [[nodiscard]] std::int64_t woc_shift(int core, int width) const;
+  [[nodiscard]] std::int64_t woc_shift(int core, int width) const {
+    check_core(core);
+    SITAM_CHECK_MSG(width >= 1, "width " << width << " must be >= 1");
+    if (width <= max_width_) {
+      return woc_shift_[static_cast<std::size_t>(core) *
+                            static_cast<std::size_t>(max_width_) +
+                        static_cast<std::size_t>(width - 1)];
+    }
+    // Uncommon: a width beyond the table (no clamp — the shift keeps
+    // shrinking past max_width, unlike the InTest time).
+    const std::int64_t woc = woc_[static_cast<std::size_t>(core)];
+    return (woc + width - 1) / width;
+  }
 
  private:
-  void check_core(int core) const;
+  void check_core(int core) const {
+    SITAM_CHECK_MSG(core >= 0 && core < core_count_,
+                    "core index " << core << " out of range [0, "
+                                  << core_count_ << ")");
+  }
 
   int max_width_;
-  std::vector<std::vector<std::int64_t>> intest_;  // [core][width-1]
-  std::vector<int> woc_;                           // [core]
+  int core_count_ = 0;
+  std::vector<std::int64_t> intest_;     // [core * max_width + width-1]
+  std::vector<std::int64_t> woc_shift_;  // [core * max_width + width-1]
+  std::vector<int> woc_;                 // [core]
 };
 
 }  // namespace sitam

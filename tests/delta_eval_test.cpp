@@ -37,13 +37,13 @@ TamArchitecture round_robin(int cores, int w_max) {
   return arch;
 }
 
-void insert_core(std::vector<int>& cores, int core) {
-  cores.insert(std::lower_bound(cores.begin(), cores.end(), core), core);
-}
-
 /// One random move: 0 = move a core, 1 = move a wire (width change),
 /// 2 = split a rail, 3 = merge two rails. Returns false when the drawn
 /// move does not apply to the current architecture (caller retries).
+/// Core movement goes through the TestRail mutation helpers — the same
+/// route the optimizers use — which keeps the incremental rail hash caches
+/// warm and exercises their O(1) maintenance under the delta evaluator's
+/// DCHECK cross-checks.
 bool apply_move(TamArchitecture& arch, Rng& rng) {
   const auto rail_count = arch.rails.size();
   switch (rng.below(4)) {
@@ -53,11 +53,11 @@ bool apply_move(TamArchitecture& arch, Rng& rng) {
       if (arch.rails[from].cores.size() < 2) return false;
       auto to = static_cast<std::size_t>(rng.below(rail_count - 1));
       if (to >= from) ++to;
-      auto& src = arch.rails[from].cores;
-      const auto pick = static_cast<std::size_t>(rng.below(src.size()));
-      const int core = src[pick];
-      src.erase(src.begin() + static_cast<std::ptrdiff_t>(pick));
-      insert_core(arch.rails[to].cores, core);
+      const auto pick = static_cast<std::size_t>(
+          rng.below(arch.rails[from].cores.size()));
+      const int core = arch.rails[from].cores[pick];
+      arch.rails[from].erase_core(core);
+      arch.rails[to].insert_core(core);
       return true;
     }
     case 1: {
@@ -82,9 +82,9 @@ bool apply_move(TamArchitecture& arch, Rng& rng) {
       for (std::uint64_t i = 0; i < moved; ++i) {
         const auto pick =
             static_cast<std::size_t>(rng.below(from.cores.size()));
-        insert_core(fresh.cores, from.cores[pick]);
-        from.cores.erase(from.cores.begin() +
-                         static_cast<std::ptrdiff_t>(pick));
+        const int core = from.cores[pick];
+        fresh.insert_core(core);
+        from.erase_core(core);
       }
       arch.rails.push_back(std::move(fresh));
       return true;
@@ -94,11 +94,9 @@ bool apply_move(TamArchitecture& arch, Rng& rng) {
       const auto a = static_cast<std::size_t>(rng.below(rail_count));
       auto b = static_cast<std::size_t>(rng.below(rail_count - 1));
       if (b >= a) ++b;
-      TestRail merged;
+      TestRail merged = arch.rails[a];
+      merged.merge_cores_from(arch.rails[b]);
       merged.width = arch.rails[a].width + arch.rails[b].width;
-      std::merge(arch.rails[a].cores.begin(), arch.rails[a].cores.end(),
-                 arch.rails[b].cores.begin(), arch.rails[b].cores.end(),
-                 std::back_inserter(merged.cores));
       const auto hi = std::max(a, b);
       const auto lo = std::min(a, b);
       arch.rails.erase(arch.rails.begin() + static_cast<std::ptrdiff_t>(hi));
@@ -279,24 +277,31 @@ TEST(DeltaEvaluatorFallbacks, WholeArchitectureJumpsFallBack) {
             0);
 }
 
-TEST(DeltaEvaluatorFallbacks, OrderInvalidationIsDetected) {
+TEST(DeltaEvaluatorFallbacks, OrderInvalidationIsResortedInPlace) {
   // Two groups whose durations swap when one core moves between rails of
   // different widths: longest-first ordering flips, which must be detected
-  // as an order fallback (not silently patched into a stale order).
+  // and the cached pick order re-sorted in place (not silently replayed in
+  // a stale order, and not abandoned to a full evaluation either).
   const Workbench wb = bench_for("d695");
   const TamEvaluator evaluator(wb.soc, wb.table, wb.tests);
   DeltaEvaluator delta(evaluator);
   Rng rng(0x0bdeULL);
   TamArchitecture arch = round_robin(wb.soc.core_count(), 16);
-  std::int64_t fallbacks_seen = 0;
+  std::int64_t resorts_seen = 0;
   for (int step = 0; step < 200; ++step) {
     if (!apply_move(arch, rng)) continue;
-    (void)delta.evaluate(arch);
-    fallbacks_seen = delta.breakdown().order_fallbacks;
+    const Evaluation& patched = delta.evaluate(arch);
+    if (delta.breakdown().order_resorts > resorts_seen) {
+      // The step that re-sorted must still agree with the full evaluator.
+      const auto mismatches = verify_delta_consistency(
+          patched, evaluator.evaluate_reference(arch));
+      ASSERT_TRUE(mismatches.empty()) << mismatches.front();
+    }
+    resorts_seen = delta.breakdown().order_resorts;
   }
   // Move sequences long enough always reshuffle the longest-first order at
-  // least once; the counter proves the detection path ran.
-  EXPECT_GT(fallbacks_seen, 0);
+  // least once; the counter proves the re-sort path ran.
+  EXPECT_GT(resorts_seen, 0);
 }
 
 TEST(DeltaEvaluatorState, InvalidateDropsTheBase) {

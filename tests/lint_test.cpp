@@ -30,14 +30,38 @@ std::filesystem::path fixtures_root() {
 
 }  // namespace
 
-TEST(LintRules, CatalogueHasFifteenStableIds) {
+TEST(LintRules, CatalogueHasSixteenStableIds) {
   const auto rules = lint::rules();
-  ASSERT_EQ(rules.size(), 15u);
+  ASSERT_EQ(rules.size(), 16u);
   for (std::size_t i = 0; i < rules.size(); ++i) {
     const std::string id = i + 1 < 10 ? "SL00" + std::to_string(i + 1)
                                       : "SL0" + std::to_string(i + 1);
-    EXPECT_EQ(rules[i].id, id) << "rule ids must be SL001..SL015 in order";
+    EXPECT_EQ(rules[i].id, id) << "rule ids must be SL001..SL016 in order";
   }
+}
+
+TEST(LintRules, RawSimdIntrinsicsOutsideKernelTus) {
+  const std::string text =
+      "#include <immintrin.h>\n"
+      "long long f(const long long* p) {\n"
+      "  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));\n"
+      "  return _mm256_extract_epi64(v, 0);\n"
+      "}\n";
+  const auto findings = lint::lint_source("src/core/x.cpp", text);
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"SL016", "SL016", "SL016"}));
+  // The sanctioned kernel TUs are exempt — that is where intrinsics live.
+  EXPECT_TRUE(
+      lint::lint_source("src/pattern/packed_kernels_avx2.cpp", text).empty());
+  // NEON families are matched too.
+  const auto neon = lint::lint_source(
+      "src/tam/y.cpp", "int g() { uint64x2_t v = vcombine_u64(a, b); }\n");
+  EXPECT_EQ(rule_ids(neon), (std::vector<std::string>{"SL016"}));
+  // Portable builtins are not intrinsics.
+  EXPECT_TRUE(lint::lint_source("src/core/z.cpp",
+                                "void h(const char* p) { "
+                                "__builtin_prefetch(p); }\n")
+                  .empty());
 }
 
 TEST(LintRules, BannedRandomnessSources) {
@@ -318,6 +342,10 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereSeeded) {
       {"src/tam/sl001_rng.cpp", 6, "SL001"},
       {"src/tam/sl001_rng.cpp", 8, "SL001"},
       {"src/tam/sl005_mutator.cpp", 7, "SL005"},
+      {"src/tam/sl016_intrinsics.cpp", 2, "SL016"},
+      {"src/tam/sl016_intrinsics.cpp", 7, "SL016"},
+      {"src/tam/sl016_intrinsics.cpp", 8, "SL016"},
+      {"src/tam/sl016_intrinsics.cpp", 9, "SL016"},
       {"src/util/sl003_ptrkey.cpp", 11, "SL003"},
       {"src/util/sl003_ptrkey.cpp", 12, "SL003"},
       {"src/util/sl014_back_edge.h", 5, "SL014"},

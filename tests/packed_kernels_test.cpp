@@ -1,0 +1,129 @@
+// Tests for the SIMD plane-sweep kernel table (pattern/packed.h): registry
+// shape (scalar always present and first, active = widest), and the
+// byte-identity contract — every kernel the build + CPU supports must make
+// exactly the scalar kernel's accept/reject decisions on randomized
+// layouts, which is what makes compaction output independent of the
+// dispatched ISA. The sweeps are driven through PackedAccumulator's
+// kernel-pinning constructor, so on an AVX2 machine the test genuinely
+// compares vector gathers against the scalar walk; on a scalar-only build
+// it degenerates to scalar-vs-scalar and still pins the contract.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/packed.h"
+#include "pattern/pattern.h"
+#include "util/rng.h"
+
+namespace sitam {
+namespace {
+
+constexpr SigValue kCareValues[] = {SigValue::kStable0, SigValue::kStable1,
+                                    SigValue::kRise, SigValue::kFall};
+
+/// Random pattern with `cares` care terminals; `cares` > 4 spreads over
+/// enough plane words to push slots past the sweep record's four inlined
+/// ones, exercising the kernels' rest-of-slots walks.
+SiPattern random_pattern(Rng& rng, int terminals, int bus_width,
+                         std::uint64_t cares) {
+  SiPattern p;
+  for (std::uint64_t a = 0; a < cares; ++a) {
+    const int t =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(terminals)));
+    p.set(t, kCareValues[rng.below(4)]);
+  }
+  if (bus_width > 0 && rng.below(2) == 0) {
+    const int line =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(bus_width)));
+    p.set_bus(line, static_cast<int>(rng.below(3)));
+  }
+  return p;
+}
+
+/// Greedy first-fit sweep over all patterns with a pinned kernel set,
+/// recording every decision both fits() overloads make. Returns the
+/// decision trace; identical traces across kernels imply identical
+/// compaction output (the sweep is a deterministic function of them).
+std::vector<std::uint8_t> sweep_decisions(const PackedPatternSet& set,
+                                          const PackedSweepIndex& index,
+                                          const PackedKernels& kernels) {
+  PackedAccumulator acc(set.layout(), kernels);
+  std::vector<std::uint8_t> decisions;
+  decisions.reserve(set.size() * 2);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const bool via_index = acc.fits(index, i);
+    const bool via_set = acc.fits(set, i);
+    EXPECT_EQ(via_index, via_set) << "fits() overloads disagree on " << i
+                                  << " under kernel " << kernels.name;
+    decisions.push_back(via_index ? 1 : 0);
+    if (via_index) {
+      acc.absorb(set, i);
+      decisions.push_back(acc.contains(set, i) ? 1 : 0);
+    }
+  }
+  return decisions;
+}
+
+TEST(PackedKernels, RegistryListsScalarFirstAndActiveLast) {
+  const auto all = packed_all_kernels();
+  ASSERT_GE(all.size(), 1u);
+  EXPECT_EQ(std::string(all[0].name), "scalar");
+  EXPECT_EQ(&packed_scalar_kernels(), &all[0]);
+  EXPECT_EQ(&packed_active_kernels(), &all[all.size() - 1]);
+  for (const PackedKernels& k : all) {
+    EXPECT_NE(k.record_conflict, nullptr) << k.name;
+    EXPECT_NE(k.slots_conflict, nullptr) << k.name;
+  }
+}
+
+TEST(PackedKernels, AgreeBitForBitOnRandomizedLayouts) {
+  struct LayoutCase {
+    int terminals;
+    int bus_width;
+    std::uint64_t max_cares;
+  };
+  // Sparse single-word patterns, multi-word mid-size layouts, and a
+  // >64-word layout with dense patterns whose slot lists overflow the
+  // four inlined record slots (rest-walk vector blocks + scalar tails).
+  const LayoutCase cases[] = {
+      {40, 0, 4}, {200, 17, 8}, {900, 80, 24}, {4200, 64, 40}};
+  Rng rng(20260809);
+  for (const LayoutCase& c : cases) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<SiPattern> patterns;
+      for (int i = 0; i < 120; ++i) {
+        patterns.push_back(random_pattern(rng, c.terminals, c.bus_width,
+                                          1 + rng.below(c.max_cares)));
+      }
+      const PackedLayout layout{c.terminals, c.bus_width};
+      const PackedPatternSet set(patterns, layout);
+      const PackedSweepIndex index(set);
+      const std::vector<std::uint8_t> scalar_trace =
+          sweep_decisions(set, index, packed_scalar_kernels());
+      for (const PackedKernels& k : packed_all_kernels()) {
+        EXPECT_EQ(sweep_decisions(set, index, k), scalar_trace)
+            << "kernel " << k.name << " diverged from scalar on layout ("
+            << c.terminals << ", " << c.bus_width << ") round " << round;
+      }
+    }
+  }
+}
+
+TEST(PackedKernels, DefaultAccumulatorMatchesPinnedActiveKernels) {
+  Rng rng(7);
+  std::vector<SiPattern> patterns;
+  for (int i = 0; i < 60; ++i) {
+    patterns.push_back(random_pattern(rng, 300, 10, 1 + rng.below(12)));
+  }
+  const PackedLayout layout{300, 10};
+  const PackedPatternSet set(patterns, layout);
+  const PackedSweepIndex index(set);
+  EXPECT_EQ(sweep_decisions(set, index, packed_active_kernels()),
+            sweep_decisions(set, index, packed_scalar_kernels()));
+}
+
+}  // namespace
+}  // namespace sitam

@@ -128,11 +128,16 @@ TEST(ParallelDeterminism, AnnealingMatchesAcrossThreadCounts) {
 }
 
 TEST(ParallelDeterminism, MemoCacheIsTransparent) {
-  // The memo cache may only change speed, never results.
+  // The memo cache may only change speed, never results. The delta
+  // front-end is disabled here so the memo actually sees the evaluation
+  // stream — with it on, the delta path answers nearly every probe itself
+  // (order changes re-sort in place instead of rebasing through the memo)
+  // and the cache_hits assertion below would have nothing to count.
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     const Scenario s = make_scenario(seed);
     OptimizerConfig cached;
     cached.restarts = 2;
+    cached.delta_eval = false;
     OptimizerConfig uncached = cached;
     uncached.evaluator.memoize = false;
     const OptimizeResult with =

@@ -11,6 +11,7 @@
 #include "tam/architecture.h"
 #include "tam/evaluator.h"
 #include "tam/optimizer.h"
+#include "util/rng.h"
 #include "wrapper/design.h"
 
 namespace sitam {
@@ -542,6 +543,68 @@ TEST(OptimizerStats, CountsEveryEvaluation) {
   // t_soc-only counter could ever see for a 5-core SOC (it reported at
   // most a handful); any credible count exceeds the core count.
   EXPECT_GT(result.stats.evaluations, soc.core_count());
+}
+
+// The incremental rail-hash cache must agree with the from-scratch
+// reference after any helper sequence — this is the invariant the delta
+// evaluator's raw-quadruple rail matching rests on. Random walk over the
+// exact move mix the optimizers perform: single-core moves between rails,
+// width changes (which never touch the cached sums), and rail merges.
+TEST(RailHash, IncrementalCacheMatchesReferenceUnderRandomizedMoves) {
+  constexpr int kCores = 24;
+  Rng rng(0x5117a4);
+  TamArchitecture arch;
+  arch.rails.resize(4);
+  for (int r = 0; r < 4; ++r) {
+    arch.rails[static_cast<std::size_t>(r)].width = 1 + r;
+    arch.rails[static_cast<std::size_t>(r)].id = r;
+  }
+  for (int c = 0; c < kCores; ++c) {
+    arch.rails[rng.below(arch.rails.size())].insert_core(c);
+  }
+
+  const auto check_all = [&arch] {
+    for (const TestRail& rail : arch.rails) {
+      const RailHash reference = rail_content_hash_reference(rail);
+      ASSERT_EQ(rail.content_hash(), reference);
+      // The raw sums the delta evaluator matches on must agree too, not
+      // just the finalized hash.
+      const auto [sum0, sum1] = rail.hash_sums();
+      TestRail cold;
+      cold.cores = rail.cores;
+      cold.width = rail.width;
+      const auto [ref0, ref1] = cold.hash_sums();
+      ASSERT_EQ(sum0, ref0);
+      ASSERT_EQ(sum1, ref1);
+    }
+  };
+  check_all();
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t kind = rng.below(8);
+    if (kind < 5) {
+      // Move a random core to a random other rail (skipping no-ops and
+      // rails it would empty — the optimizers never produce either).
+      const std::size_t from = rng.below(arch.rails.size());
+      TestRail& src = arch.rails[from];
+      if (src.cores.size() < 2) continue;
+      const std::size_t to = rng.below(arch.rails.size());
+      if (to == from) continue;
+      const int core = src.cores[rng.below(src.cores.size())];
+      src.erase_core(core);
+      arch.rails[to].insert_core(core);
+    } else if (kind < 7) {
+      arch.rails[rng.below(arch.rails.size())].width =
+          1 + static_cast<int>(rng.below(64));
+    } else if (arch.rails.size() > 2) {
+      // Merge the last rail into a random survivor.
+      TestRail victim = std::move(arch.rails.back());
+      arch.rails.pop_back();
+      arch.rails[rng.below(arch.rails.size())].merge_cores_from(victim);
+    }
+    check_all();
+  }
+  arch.validate(kCores);
 }
 
 }  // namespace

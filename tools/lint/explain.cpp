@@ -118,6 +118,19 @@ constexpr Doc kDocs[] = {
      "are inserted into somewhere in the TU must also be cleared, erased,\n"
      "or reassigned somewhere in the TU. The evaluator memo's wholesale\n"
      "clear at kMemoCapacity is the repo's reference pattern.\n"},
+    {"SL016",
+     "Raw SIMD intrinsics outside the sanctioned kernel TUs.\n\n"
+     "All vector code lives behind the packed kernel table\n"
+     "(pattern/packed.h): scalar, AVX2 and NEON entries with runtime CPU\n"
+     "dispatch, proven byte-identical by packed_kernels_test. An intrinsic\n"
+     "call anywhere else forks the ISA paths outside that proof — it can\n"
+     "silently change results between machines, and it breaks builds whose\n"
+     "baseline ISA lacks the instruction (only the kernel TUs get per-file\n"
+     "-mavx2). Matched: x86/NEON intrinsic headers, __m128/__m256/__m512,\n"
+     "_mm*_ prefixes, and the NEON v*q_/uintNxM_t families. Portable\n"
+     "builtins (__builtin_prefetch, __builtin_cpu_supports) stay allowed.\n"
+     "To add a kernel, add entries to the table in the sanctioned TUs and\n"
+     "extend the identity property test.\n"},
 };
 
 }  // namespace
