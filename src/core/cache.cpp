@@ -21,8 +21,8 @@ std::filesystem::path group_file(const std::string& directory,
 
 }  // namespace
 
-std::string workload_cache_key(const Soc& soc,
-                               const SiWorkloadConfig& config) {
+std::uint64_t workload_config_hash(const Soc& soc,
+                                   const SiWorkloadConfig& config) {
   // Hash the generator parameters so any change invalidates the key.
   std::uint64_t h = config.seed;
   const auto mix = [&h](std::uint64_t value) {
@@ -40,12 +40,30 @@ std::string workload_cache_key(const Soc& soc,
   mix(static_cast<std::uint64_t>(config.patterns.bus_width));
   mix(static_cast<std::uint64_t>(config.patterns.bus_use_probability *
                                  1e6));
+  // The groupings and the grouping/partition knobs change the compacted
+  // test sets, so the in-memory tier must not serve a workload prepared
+  // under different ones (the disk tier keys groupings into the filename,
+  // the memory tier has only this hash).
+  mix(config.groupings.size());
+  for (const int parts : config.groupings) {
+    mix(static_cast<std::uint64_t>(parts));
+  }
+  mix(static_cast<std::uint64_t>(config.grouping.bus_width));
+  mix(static_cast<std::uint64_t>(config.grouping.partition.epsilon * 1e6));
+  mix(static_cast<std::uint64_t>(config.grouping.partition.random_starts));
+  mix(static_cast<std::uint64_t>(config.grouping.partition.max_fm_passes));
+  mix(static_cast<std::uint64_t>(config.grouping.partition.coarsen_limit));
+  mix(config.grouping.partition.seed);
   // Include the SOC's structure, not just its name.
-  mix(static_cast<std::uint64_t>(soc.total_test_data_volume()));
-  mix(static_cast<std::uint64_t>(soc.total_woc()));
+  mix(soc_structure_hash(soc));
+  return h;
+}
 
+std::string workload_cache_key(const Soc& soc,
+                               const SiWorkloadConfig& config) {
   std::ostringstream os;
-  os << soc.name << "_nr" << config.pattern_count << "_s" << std::hex << h;
+  os << soc.name << "_nr" << config.pattern_count << "_s" << std::hex
+     << workload_config_hash(soc, config);
   return os.str();
 }
 
@@ -89,11 +107,12 @@ std::optional<SiWorkload> load_workload(const Soc& soc,
 }
 
 SiWorkload prepare_cached(const Soc& soc, const SiWorkloadConfig& config,
-                          const std::string& directory) {
+                          const std::string& directory,
+                          const CancelToken* cancel) {
   if (auto cached = load_workload(soc, config, directory)) {
     return std::move(*cached);
   }
-  SiWorkload workload = SiWorkload::prepare(soc, config);
+  SiWorkload workload = SiWorkload::prepare(soc, config, cancel);
   save_workload(workload, directory);
   return workload;
 }
@@ -126,13 +145,17 @@ void WorkloadMemoryCache::insert(const std::string& key, SiWorkload workload) {
 
 SiWorkload WorkloadMemoryCache::prepare(const Soc& soc,
                                         const SiWorkloadConfig& config,
-                                        const std::string& directory) {
+                                        const std::string& directory,
+                                        const CancelToken* cancel) {
   const std::string key = workload_cache_key(soc, config);
   if (std::optional<SiWorkload> hit = lookup(key)) {
     return *std::move(hit);
   }
-  // Disk tier (prepare on a cold disk cache); promote whatever it yields.
-  SiWorkload prepared = prepare_cached(soc, config, directory);
+  // Disk tier (prepare on a cold disk cache) unless running memory-only;
+  // promote whatever it yields. A cancelled prepare throws before insert.
+  SiWorkload prepared = directory.empty()
+                            ? SiWorkload::prepare(soc, config, cancel)
+                            : prepare_cached(soc, config, directory, cancel);
   insert(key, prepared);
   return prepared;
 }

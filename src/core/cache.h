@@ -19,7 +19,16 @@
 
 namespace sitam {
 
-/// Deterministic cache key (filesystem-safe).
+/// 64-bit hash of everything a prepared workload depends on: the SOC
+/// structure and every result-affecting SiWorkloadConfig field (generator
+/// knobs, groupings, grouping/partition parameters, seed). Excludes the
+/// bit-identical throughput switches (parallel_prepare, compaction
+/// threads). Shared by the disk cache key and SitamContext request keys.
+[[nodiscard]] std::uint64_t workload_config_hash(const Soc& soc,
+                                                const SiWorkloadConfig& config);
+
+/// Deterministic cache key (filesystem-safe), derived from
+/// workload_config_hash.
 [[nodiscard]] std::string workload_cache_key(const Soc& soc,
                                              const SiWorkloadConfig& config);
 
@@ -34,9 +43,12 @@ void save_workload(const SiWorkload& workload, const std::string& directory);
     const std::string& directory);
 
 /// prepare() with a cache in front: load if present, else prepare + save.
+/// `cancel` is forwarded to SiWorkload::prepare (nullptr = never
+/// cancelled); a cancelled prepare unwinds before anything is saved.
 [[nodiscard]] SiWorkload prepare_cached(const Soc& soc,
                                         const SiWorkloadConfig& config,
-                                        const std::string& directory);
+                                        const std::string& directory,
+                                        const CancelToken* cancel = nullptr);
 
 /// Bounded in-memory tier in front of the on-disk workload cache.
 ///
@@ -64,10 +76,15 @@ class WorkloadMemoryCache {
 
   /// prepare_cached() with this memory tier in front of the disk tier:
   /// memory hit, else disk hit (promoted into memory), else prepare +
-  /// save + insert.
+  /// save + insert. An empty `directory` skips the disk tier entirely —
+  /// the memory-only mode a long-running SitamContext/server runs in,
+  /// where touching the filesystem per miss is unwanted. `cancel` is
+  /// forwarded to the underlying prepare; a cancelled prepare inserts
+  /// nothing, so the cache never holds a partial workload.
   [[nodiscard]] SiWorkload prepare(const Soc& soc,
                                    const SiWorkloadConfig& config,
-                                   const std::string& directory);
+                                   const std::string& directory,
+                                   const CancelToken* cancel = nullptr);
 
   [[nodiscard]] std::size_t size() const;
   void clear();

@@ -17,9 +17,10 @@ namespace sitam {
 SiWorkload::SiWorkload(Soc soc, SiWorkloadConfig config)
     : soc_(std::move(soc)), config_(std::move(config)), terminals_(soc_) {}
 
-SiWorkload SiWorkload::prepare(const Soc& soc,
-                               const SiWorkloadConfig& config) {
+SiWorkload SiWorkload::prepare(const Soc& soc, const SiWorkloadConfig& config,
+                               const CancelToken* cancel) {
   validate(soc);
+  check_cancel(cancel);
   if (config.groupings.empty()) {
     throw std::invalid_argument("SiWorkload: groupings must not be empty");
   }
@@ -40,6 +41,7 @@ SiWorkload SiWorkload::prepare(const Soc& soc,
     raw = generate_random_patterns(workload.terminals_, config.pattern_count,
                                    config.patterns, rng);
   }
+  check_cancel(cancel);
 
   GroupingConfig grouping = config.grouping;
   grouping.bus_width = std::max(grouping.bus_width, config.patterns.bus_width);
@@ -66,8 +68,10 @@ SiWorkload SiWorkload::prepare(const Soc& soc,
     for (auto& future : futures) {
       workload.test_sets_.push_back(future.get());
     }
+    check_cancel(cancel);
   } else {
     for (const int parts : config.groupings) {
+      check_cancel(cancel);
       SITAM_TRACE_SPAN_ARG("flow.workload.compact", parts);
       workload.test_sets_.push_back(
           build_si_test_set(raw, workload.terminals_, parts, grouping));
@@ -158,6 +162,7 @@ ExperimentOutcome run_experiment(const SiWorkload& workload, int w_max,
   // T_g_i: the SI-aware optimizer per grouping.
   outcome.t_min = std::numeric_limits<std::int64_t>::max();
   for (const int parts : workload.groupings()) {
+    check_cancel(config.cancel);
     SITAM_TRACE_SPAN_ARG("flow.experiment.grouping", parts);
     OptimizeResult result =
         optimize_tam(soc, table, workload.tests(parts), w_max, config);
@@ -178,6 +183,7 @@ SweepResult run_sweep(const SiWorkload& workload,
   sweep.pattern_count = workload.raw_pattern_count();
   sweep.groupings = workload.groupings();
   for (const int w : widths) {
+    check_cancel(config.cancel);
     SITAM_INFO << "sweep " << sweep.soc_name << ": W_max=" << w;
     SITAM_TRACE_SPAN_ARG("flow.sweep.width", w);
     sweep.rows.push_back(run_experiment(workload, w, config));

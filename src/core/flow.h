@@ -16,6 +16,7 @@
 #include "sitest/group.h"
 #include "soc/soc.h"
 #include "tam/optimizer.h"
+#include "util/cancel.h"
 
 namespace sitam {
 
@@ -37,8 +38,12 @@ class SiWorkload {
  public:
   /// Generates and compacts; the SOC is copied in.
   /// Throws std::invalid_argument on bad config (empty groupings,
-  /// non-positive grouping values, negative pattern count).
-  static SiWorkload prepare(const Soc& soc, const SiWorkloadConfig& config);
+  /// non-positive grouping values, negative pattern count). `cancel` is a
+  /// cooperative cancellation token checked at grouping boundaries
+  /// (nullptr = never cancelled); a cancelled prepare unwinds with
+  /// sitam::Cancelled before any cache sees the partial workload.
+  static SiWorkload prepare(const Soc& soc, const SiWorkloadConfig& config,
+                            const CancelToken* cancel = nullptr);
 
   /// Rebuilds a workload from previously-prepared test sets (one per
   /// grouping, in config order) — the cache path; see core/cache.h.

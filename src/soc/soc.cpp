@@ -43,6 +43,31 @@ std::int64_t Soc::total_test_data_volume() const {
   return sum;
 }
 
+std::uint64_t soc_structure_hash(const Soc& soc) {
+  std::uint64_t h = 0x5174616d'50c0de01ULL;  // arbitrary nonzero basis
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  const auto mix_string = [&](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<unsigned char>(c));
+  };
+  mix_string(soc.name);
+  mix(soc.modules.size());
+  for (const Module& m : soc.modules) {
+    mix(static_cast<std::uint64_t>(m.id));
+    mix_string(m.name);
+    mix(static_cast<std::uint64_t>(m.inputs));
+    mix(static_cast<std::uint64_t>(m.outputs));
+    mix(static_cast<std::uint64_t>(m.bidirs));
+    mix(m.scan_chains.size());
+    for (const int len : m.scan_chains) mix(static_cast<std::uint64_t>(len));
+    mix(static_cast<std::uint64_t>(m.patterns));
+    mix(static_cast<std::uint64_t>(m.bist_patterns));
+  }
+  return h;
+}
+
 void validate(const Soc& soc) {
   if (soc.name.empty()) {
     throw std::invalid_argument("SOC name must not be empty");

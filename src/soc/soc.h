@@ -65,4 +65,11 @@ struct Soc {
 /// counts, empty name, zero-length scan chains, ...).
 void validate(const Soc& soc);
 
+/// Deterministic 64-bit hash of everything the test flow reads from the
+/// model: name, module order, per-module terminals, scan-chain lengths and
+/// pattern counts. Two SOCs with equal hashes are (up to hash collision)
+/// interchangeable inputs — the interning key of the SitamContext arena
+/// and part of every workload/request cache key.
+[[nodiscard]] std::uint64_t soc_structure_hash(const Soc& soc);
+
 }  // namespace sitam

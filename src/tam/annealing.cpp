@@ -111,6 +111,7 @@ OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
                          const SiTestSet& tests, int w_max,
                          const AnnealingConfig& config,
                          const TamArchitecture& start, std::uint64_t seed) {
+  check_cancel(config.cancel);
   SITAM_TRACE_SPAN("tam.annealing.chain");
   SITAM_COUNTER("tam.annealing.chains", 1);
   const TamEvaluator evaluator(soc, table, tests, config.evaluator);
@@ -139,6 +140,9 @@ OptimizeResult run_chain(const Soc& soc, const TestTimeTable& table,
   double temperature = t0;
   TamArchitecture candidate;  // hoisted so the copy below reuses its heap
   for (int i = 0; i < iterations; ++i, temperature *= alpha) {
+    // Every 256 moves keeps the cancellation latency far below a
+    // chain's runtime while staying invisible on the move hot path.
+    if ((i & 0xFF) == 0) check_cancel(config.cancel);
     candidate = current;
     if (!mutate(candidate, rng)) continue;
     const std::int64_t candidate_t = score(candidate);
@@ -186,6 +190,7 @@ OptimizeResult optimize_tam_annealing(const Soc& soc,
     OptimizerConfig alg2;
     alg2.evaluator = config.evaluator;
     alg2.threads = config.threads;
+    alg2.cancel = config.cancel;
     OptimizeResult seeded = optimize_tam(soc, table, tests, w_max, alg2);
     warm_start_stats = seeded.stats;
     start = std::move(seeded.architecture);
@@ -221,7 +226,17 @@ OptimizeResult optimize_tam_annealing(const Soc& soc,
                          chain_seed(chain));
       }));
     }
-    for (auto& future : futures) results.push_back(future.get());
+    // Collect every future before rethrowing (see optimize_tam): a
+    // cancelled chain must not strand siblings against unwound stack state.
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+      try {
+        results.push_back(future.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   // Winner: lowest T_soc, ties broken by lowest chain index; stats sum

@@ -43,6 +43,11 @@ struct AnnealingConfig {
   /// thread. Chains own their evaluator and RNG, so results are
   /// bit-identical for every thread count.
   int threads = 1;
+  /// Non-owning cooperative cancellation token (nullptr = never
+  /// cancelled), checked between annealing moves and before each chain;
+  /// a cancelled run unwinds with sitam::Cancelled. See
+  /// OptimizerConfig::cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Returns the best architecture found; deterministic for a fixed config

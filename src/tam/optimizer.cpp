@@ -231,6 +231,7 @@ class Optimizer {
       // time_used, descending) into whichever of the first W_max rails
       // yields the lowest T_soc (Algorithm 2, lines 7-13).
       while (static_cast<int>(arch.rails.size()) > w_max_) {
+        check_cancel(config_.cancel);
         const auto order = order_by_time_used(arch);
         const std::size_t victim = order[static_cast<std::size_t>(w_max_)];
         std::size_t best_partner = arch.rails.size();
@@ -259,6 +260,7 @@ class Optimizer {
   void bottom_up(TamArchitecture& arch) {
     int guard = config_.max_iterations;
     while (arch.rails.size() > 1 && guard-- > 0) {
+      check_cancel(config_.cancel);
       const auto order = order_by_time_used(arch);
       if (!merge_tams(arch, order.back())) break;
     }
@@ -270,6 +272,7 @@ class Optimizer {
   int top_down(TamArchitecture& arch) {
     int guard = config_.max_iterations;
     while (arch.rails.size() > 1 && guard-- > 0) {
+      check_cancel(config_.cancel);
       const auto order = order_by_time_used(arch);
       const std::size_t r1 = order.front();
       const int r1_id = arch.rails[r1].id;
@@ -286,6 +289,7 @@ class Optimizer {
     if (initial_skip_id >= 0) skip.insert(initial_skip_id);
     int guard = config_.max_iterations;
     while (guard-- > 0) {
+      check_cancel(config_.cancel);
       std::size_t pick = arch.rails.size();
       std::int64_t pick_used = -1;
       const std::vector<RailTimes>& rails = rail_times(arch);
@@ -319,6 +323,7 @@ class Optimizer {
   void core_reshuffle(TamArchitecture& arch) {
     int guard = config_.max_iterations;
     while (guard-- > 0) {
+      check_cancel(config_.cancel);
       const std::int64_t current = t_soc(arch);
       const auto bottlenecks = bottleneck_rails(arch);
       std::int64_t best_t = current;
@@ -374,6 +379,10 @@ namespace {
 OptimizeResult run_restart(const Soc& soc, const TestTimeTable& table,
                            const SiTestSet& tests, int w_max,
                            const OptimizerConfig& config, int index) {
+  // Restart-granular cancellation point: a request cancelled while earlier
+  // restarts were in flight stops the remaining ones before they build
+  // their evaluator stacks.
+  check_cancel(config.cancel);
   SITAM_TRACE_SPAN_ARG("tam.optimizer.restart", index);
   SITAM_COUNTER("tam.optimizer.restarts", 1);
   std::vector<int> order(static_cast<std::size_t>(soc.core_count()));
@@ -432,7 +441,18 @@ OptimizeResult optimize_tam(const Soc& soc, const TestTimeTable& table,
         return run_restart(soc, table, tests, w_max, config, restart);
       }));
     }
-    for (auto& future : futures) results.push_back(future.get());
+    // Collect every future before rethrowing: a cancelled (or otherwise
+    // throwing) restart must not leave siblings running against stack
+    // references we are about to unwind.
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+      try {
+        results.push_back(future.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
   return pick_winner(std::move(results));
 }

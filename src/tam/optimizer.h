@@ -17,6 +17,7 @@
 #include "soc/soc.h"
 #include "tam/architecture.h"
 #include "tam/evaluator.h"
+#include "util/cancel.h"
 #include "wrapper/design.h"
 
 namespace sitam {
@@ -57,6 +58,12 @@ struct OptimizerConfig {
   /// (t_soc, restart index), so the result is bit-identical for every
   /// thread count.
   int threads = 1;
+  /// Non-owning cooperative cancellation token (nullptr = never
+  /// cancelled). The restart loop and every Algorithm 2 improvement loop
+  /// check it between iterations and unwind with sitam::Cancelled; each
+  /// restart owns its evaluator state, so a cancelled run leaves no shared
+  /// cache mid-update. Deliberately excluded from request identity hashes.
+  const CancelToken* cancel = nullptr;
 };
 
 struct OptimizeResult {

@@ -1,0 +1,64 @@
+// Cooperative cancellation for long-running optimization work.
+//
+// A CancelToken is a shared flag between the party that wants work stopped
+// (a server's cancel request, a deadline watchdog, a test) and the worker
+// running it. Workers never poll the flag implicitly: cancellation points
+// are explicit check_cancel() calls placed at loop boundaries where the
+// algorithm's state is consistent — between optimizer improvement
+// iterations, between annealing moves, between workload groupings — so a
+// cancelled run unwinds through an exception without leaving any shared
+// cache or evaluator mid-update. Requesting cancellation is sticky and
+// thread-safe; the token carries no other state, so it is excluded from
+// request identity hashes (two requests differing only in their token are
+// the same computation).
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace sitam {
+
+/// Thrown by a cancellation point that observed a cancelled token. Derives
+/// from std::runtime_error so generic "reject this work item" handlers see
+/// it, but callers that care (the job server) catch it by exact type to
+/// report "cancelled" instead of "failed".
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("operation cancelled") {}
+};
+
+/// Sticky thread-safe cancellation flag. Copying is disabled: share one
+/// token by reference/pointer (or shared_ptr where lifetimes demand it) so
+/// every observer sees the same flag.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void request() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws Cancelled if cancellation was requested.
+  void check() const {
+    if (requested()) throw Cancelled();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Null-tolerant cancellation point: config structs carry a non-owning
+/// `const CancelToken*` that defaults to nullptr (no cancellation), so
+/// every call site reads as one line.
+inline void check_cancel(const CancelToken* token) {
+  if (token != nullptr) token->check();
+}
+
+}  // namespace sitam

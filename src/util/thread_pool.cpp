@@ -44,7 +44,7 @@ void ThreadPool::shutdown() {
   workers_.clear();
 }
 
-void ThreadPool::enqueue(std::function<void()> wrapped) {
+void ThreadPool::enqueue(JobPriority priority, std::function<void()> wrapped) {
   const ThreadPoolObsHooks* hooks = thread_pool_obs_hooks();
   QueuedTask task;
   task.run = std::move(wrapped);
@@ -57,13 +57,20 @@ void ThreadPool::enqueue(std::function<void()> wrapped) {
     if (shutting_down_) {
       throw std::runtime_error("ThreadPool: submit after shutdown");
     }
-    queue_.push_back(std::move(task));
-    depth = queue_.size();
+    queues_[static_cast<std::size_t>(priority)].push_back(std::move(task));
+    for (const std::deque<QueuedTask>& queue : queues_) depth += queue.size();
   }
   ready_.notify_one();
   if (hooks != nullptr && hooks->queue_depth != nullptr) {
     hooks->queue_depth(static_cast<std::int64_t>(depth));
   }
+}
+
+std::deque<ThreadPool::QueuedTask>* ThreadPool::next_queue_locked() {
+  for (std::deque<QueuedTask>& queue : queues_) {
+    if (!queue.empty()) return &queue;
+  }
+  return nullptr;
 }
 
 void ThreadPool::worker_loop() {
@@ -72,11 +79,13 @@ void ThreadPool::worker_loop() {
     QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock,
-                  [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      ready_.wait(lock, [this] {
+        return shutting_down_ || next_queue_locked() != nullptr;
+      });
+      std::deque<QueuedTask>* queue = next_queue_locked();
+      if (queue == nullptr) return;  // shutting down and drained
+      task = std::move(queue->front());
+      queue->pop_front();
     }
     const ThreadPoolObsHooks* hooks = thread_pool_obs_hooks();
     if (hooks != nullptr) {

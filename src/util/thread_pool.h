@@ -1,4 +1,5 @@
-// Fixed-size worker thread pool with futures-based task submission.
+// Fixed-size worker thread pool with futures-based, prioritised task
+// submission.
 //
 // The optimizer's restart loop and the annealing chains are embarrassingly
 // parallel: every unit of work owns its Optimizer/TamEvaluator instance and
@@ -9,8 +10,17 @@
 // at future::get() instead of terminating a worker. shutdown() (also run
 // by the destructor) drains every queued task before joining, so no
 // submitted work is silently dropped.
+//
+// Tasks carry a JobPriority: workers always drain higher-priority queues
+// first, FIFO within a priority. The job server uses this to keep
+// interactive requests ahead of bulk sweeps; the optimizer's restart fan
+// simply submits at the default priority, which preserves the original
+// strict-FIFO behaviour. Priorities only reorder *dispatch* — they never
+// change any task's result, so the deterministic-results contract of the
+// restart/chain harnesses is unaffected.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -24,6 +34,16 @@
 #include <vector>
 
 namespace sitam {
+
+/// Dispatch priority of a queued task. Lower enum value = drained first.
+enum class JobPriority : std::uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+/// Number of distinct JobPriority levels (queue array size).
+inline constexpr std::size_t kJobPriorityLevels = 3;
 
 class ThreadPool {
  public:
@@ -49,18 +69,26 @@ class ThreadPool {
   /// the workers. Idempotent; called by the destructor.
   void shutdown();
 
-  /// Enqueues `task` and returns a future for its result. A task that
-  /// throws stores the exception in the future (rethrown by get()).
-  /// Throws std::runtime_error after shutdown().
+  /// Enqueues `task` at JobPriority::kNormal and returns a future for its
+  /// result. A task that throws stores the exception in the future
+  /// (rethrown by get()). Throws std::runtime_error after shutdown().
   template <typename F>
   auto submit(F task) -> std::future<std::invoke_result_t<F>> {
+    return submit(JobPriority::kNormal, std::move(task));
+  }
+
+  /// Enqueues `task` at `priority`: workers drain kHigh before kNormal
+  /// before kLow, FIFO within each level.
+  template <typename F>
+  auto submit(JobPriority priority, F task)
+      -> std::future<std::invoke_result_t<F>> {
     using Result = std::invoke_result_t<F>;
     // shared_ptr because std::function requires copyable callables and
     // packaged_task is move-only.
     auto packaged = std::make_shared<std::packaged_task<Result()>>(
         std::move(task));
     std::future<Result> future = packaged->get_future();
-    enqueue([packaged] { (*packaged)(); });
+    enqueue(priority, [packaged] { (*packaged)(); });
     return future;
   }
 
@@ -72,12 +100,17 @@ class ThreadPool {
     std::int64_t enqueued_ns = -1;
   };
 
-  void enqueue(std::function<void()> wrapped);
+  void enqueue(JobPriority priority, std::function<void()> wrapped);
   void worker_loop();
 
+  /// Highest-priority non-empty queue, or nullptr. Caller holds mutex_.
+  [[nodiscard]] std::deque<QueuedTask>* next_queue_locked();
+
   std::vector<std::thread> workers_;
-  std::deque<QueuedTask> queue_;  // guarded_by(mutex_)
-  bool shutting_down_ = false;    // guarded_by(mutex_)
+  // One FIFO per priority level, drained lowest index first.
+  std::array<std::deque<QueuedTask>, kJobPriorityLevels>
+      queues_;                  // guarded_by(mutex_)
+  bool shutting_down_ = false;  // guarded_by(mutex_)
   std::mutex mutex_;
   std::condition_variable ready_;
 };

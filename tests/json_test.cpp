@@ -1,7 +1,10 @@
-// Tests for the streaming JSON writer.
+// Tests for the streaming JSON writer and the strict parser behind the
+// serve protocol (duplicate keys, UTF-8 validation, depth bound, trailing
+// garbage — every rejection is a JsonParseError with a byte offset).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "util/json.h"
 
@@ -108,6 +111,91 @@ TEST(JsonWriter, MisuseThrows) {
     w.begin_object().key("k");
     EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
   }
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const JsonValue root = parse_json(
+      R"({"i":-42,"d":2.5,"s":"hi","t":true,"f":false,"n":null,"a":[1,2]})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("i")->as_int(), -42);
+  EXPECT_EQ(root.find("d")->as_double(), 2.5);
+  EXPECT_EQ(root.find("s")->as_string(), "hi");
+  EXPECT_TRUE(root.find("t")->as_bool());
+  EXPECT_FALSE(root.find("f")->as_bool());
+  EXPECT_TRUE(root.find("n")->is_null());
+  ASSERT_TRUE(root.find("a")->is_array());
+  EXPECT_EQ(root.find("a")->as_array().size(), 2u);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParser, IsIntegerTracksLexicalForm) {
+  EXPECT_TRUE(parse_json("42").is_integer());
+  EXPECT_TRUE(parse_json("-9223372036854775808").is_integer());  // INT64_MIN
+  EXPECT_FALSE(parse_json("42.0").is_integer());  // fraction → double
+  EXPECT_FALSE(parse_json("4e2").is_integer());   // exponent → double
+  EXPECT_EQ(parse_json("4e2").as_double(), 400.0);
+  EXPECT_THROW((void)parse_json("42.0").as_int(), JsonParseError);
+  EXPECT_THROW((void)parse_json("99999999999999999999"), JsonParseError);
+}
+
+TEST(JsonParser, DecodesEscapesAndSurrogatePairs) {
+  // The escapes decode to 'A', e-acute and U+1F600 (a surrogate pair);
+  // the tail repeats e-acute and U+1F600 as raw UTF-8 passthrough.
+  const JsonValue root = parse_json(
+      "\"a\\\"b\\\\c\\/\\n\\t\\u0041\\u00e9\\ud83d\\ude00\xC3\xA9\xF0\x9F\x98\x80\"");
+  EXPECT_EQ(root.as_string(),
+            "a\"b\\c/\n\tA\xC3\xA9\xF0\x9F\x98\x80\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParser, DumpRoundTripsCanonically) {
+  const std::string doc =
+      R"({"rows":[{"i":0,"ok":true},{"i":1,"ok":false}],"label":"x\ny"})";
+  const JsonValue root = parse_json(doc);
+  EXPECT_EQ(root.dump(), doc);                   // key order preserved
+  EXPECT_EQ(parse_json(root.dump()).dump(), doc);  // stable fixpoint
+}
+
+TEST(JsonParser, RejectsDuplicateKeysWithOffset) {
+  try {
+    (void)parse_json(R"({"op":"a","op":"b"})");
+    FAIL() << "duplicate key accepted";
+  } catch (const JsonParseError& err) {
+    EXPECT_NE(std::string(err.what()).find("duplicate object key"),
+              std::string::npos);
+    EXPECT_GT(err.offset(), 0u);
+  }
+}
+
+TEST(JsonParser, RejectsInvalidUtf8AndBadEscapes) {
+  // Overlong encoding, unpaired escape surrogate, raw control byte,
+  // truncated multi-byte tail.
+  EXPECT_THROW((void)parse_json(std::string("\"\xC0\x80\"")), JsonParseError);
+  EXPECT_THROW((void)parse_json(R"("\ud800")"), JsonParseError);
+  EXPECT_THROW((void)parse_json(std::string("\"\x01\"")), JsonParseError);
+  EXPECT_THROW((void)parse_json(std::string("\"\xE2\x82\"")), JsonParseError);
+}
+
+TEST(JsonParser, RejectsTrailingGarbageAndTruncation) {
+  EXPECT_THROW((void)parse_json("{} {}"), JsonParseError);
+  EXPECT_THROW((void)parse_json(R"({"a":1)"), JsonParseError);
+  EXPECT_THROW((void)parse_json(""), JsonParseError);
+  EXPECT_THROW((void)parse_json("nulL"), JsonParseError);
+}
+
+TEST(JsonParser, EnforcesTheDepthBound) {
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_NO_THROW((void)parse_json(nested(kJsonMaxDepth)));
+  EXPECT_THROW((void)parse_json(nested(kJsonMaxDepth + 8)), JsonParseError);
+}
+
+TEST(JsonParser, TypedAccessorsThrowOnKindMismatch) {
+  const JsonValue root = parse_json(R"({"s":"x"})");
+  EXPECT_THROW((void)root.find("s")->as_int(), JsonParseError);
+  EXPECT_THROW((void)root.find("s")->as_array(), JsonParseError);
+  EXPECT_THROW((void)root.as_string(), JsonParseError);
+  EXPECT_THROW((void)parse_json("[1]").find("k"), JsonParseError);
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// JobServer concurrency: N client threads submit a shuffled mix of
+// identical and distinct requests; the per-id result lines must be
+// byte-identical across worker thread counts {1, 2, hardware} (the
+// deterministic-parallelism contract lifted to the serving layer), and
+// concurrent identical jobs must collapse onto one underlying
+// optimization (dedupe groups + the context result memo).
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sitam {
+namespace {
+
+/// Thread-safe response recorder keyed by the echoed job id.
+class Recorder {
+ public:
+  void operator()(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+  }
+
+  /// type=="result" lines keyed by id, with the id member removed so
+  /// payloads of deduped jobs can be compared directly.
+  [[nodiscard]] std::map<std::string, std::string> results() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::string> by_id;
+    for (const std::string& line : lines_) {
+      const JsonValue root = parse_json(line);
+      const JsonValue* type = root.find("type");
+      if (type == nullptr || type->as_string() != "result") continue;
+      const std::string id = root.find("id")->as_string();
+      std::string payload = line;
+      const std::string tag = "\"id\":\"" + id + "\",";
+      const std::size_t at = payload.find(tag);
+      if (at != std::string::npos) payload.erase(at, tag.size());
+      by_id.emplace(id, std::move(payload));
+    }
+    return by_id;
+  }
+
+  [[nodiscard]] std::vector<std::string> lines() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// The request mix: per client, four distinct configurations plus two
+/// repeats of configuration 0 — every client submits the same multiset in
+/// a client-specific shuffled order, with globally unique ids.
+std::vector<std::string> client_requests(int client, std::uint64_t seed) {
+  const std::vector<std::string> configs = {
+      R"("soc":"mini5","wmax":4,"nr":300)",
+      R"("soc":"mini5","wmax":2,"nr":300,"parts":2)",
+      R"("soc":"d695","wmax":8,"nr":500)",
+      R"("soc":"mini5","wmax":4,"nr":300,"parts":1)",
+      R"("soc":"mini5","wmax":4,"nr":300)",
+      R"("soc":"mini5","wmax":4,"nr":300)",
+  };
+  std::vector<std::string> requests;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    requests.push_back(R"({"op":"optimize","id":"c)" +
+                       std::to_string(client) + "-" + std::to_string(i) +
+                       R"(",)" + configs[i] + "}");
+  }
+  // Fisher-Yates with the repo Rng: deterministic per (client, seed).
+  Rng rng(split_stream(seed, static_cast<std::uint64_t>(client)));
+  for (std::size_t i = requests.size(); i > 1; --i) {
+    std::swap(requests[i - 1], requests[rng.below(i)]);
+  }
+  return requests;
+}
+
+/// Runs the whole client fleet against a server with `threads` workers
+/// and returns the per-id result payloads.
+std::map<std::string, std::string> run_fleet(int threads,
+                                             std::uint64_t seed) {
+  Recorder recorder;
+  serve::ServerOptions options;
+  options.threads = threads;
+  options.progress = false;
+  serve::JobServer server(options, std::ref(recorder));
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c, seed] {
+      for (const std::string& line : client_requests(c, seed)) {
+        ASSERT_TRUE(server.submit_line(line));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.drain();
+
+  const std::map<std::string, std::string> results = recorder.results();
+  EXPECT_EQ(results.size(), 3u * 6u);  // every job answered exactly once
+  return results;
+}
+
+TEST(JobServer, ByteIdenticalResultsForEveryThreadCount) {
+  const std::uint64_t seed = 0xC0FFEEULL;
+  const std::map<std::string, std::string> serial = run_fleet(1, seed);
+  const std::map<std::string, std::string> dual = run_fleet(2, seed);
+  const std::map<std::string, std::string> wide =
+      run_fleet(ThreadPool::hardware_threads(), seed);
+  EXPECT_EQ(serial, dual);
+  EXPECT_EQ(serial, wide);
+
+  // Identical configurations must have identical payloads within one run:
+  // ids c0-*, c1-*, c2-* index the same multiset per client, and configs
+  // 0, 4, 5 are the same request.
+  ASSERT_TRUE(serial.count("c0-0") == 1 && serial.count("c1-4") == 1);
+  EXPECT_EQ(serial.at("c0-0"), serial.at("c0-4"));
+  EXPECT_EQ(serial.at("c0-0"), serial.at("c1-5"));
+  EXPECT_EQ(serial.at("c0-0"), serial.at("c2-0"));
+  EXPECT_NE(serial.at("c0-0"), serial.at("c0-1"));
+}
+
+TEST(JobServer, ConcurrentIdenticalJobsShareOneOptimization) {
+  Recorder recorder;
+  serve::ServerOptions options;
+  options.threads = 1;  // the leader occupies the only worker
+  options.progress = false;
+  serve::JobServer server(options, std::ref(recorder));
+
+  // Back-to-back identical jobs: the first becomes the group leader, the
+  // rest must ride along as followers (submission is far faster than the
+  // optimization, and the single worker can't finish early).
+  const std::string body = R"("soc":"d695","wmax":16,"nr":2000,"restarts":4)";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server.submit_line(R"({"op":"optimize","id":"dup-)" +
+                                   std::to_string(i) + R"(",)" + body +
+                                   "}"));
+  }
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs, 3);
+  EXPECT_EQ(stats.completed, 3);
+  const ContextStats context = server.context_stats();
+  // One underlying optimization: followers + memo hits cover the rest.
+  EXPECT_EQ(context.result_misses, 1);
+  EXPECT_EQ(stats.followers + context.result_hits, 2);
+
+  const std::map<std::string, std::string> results = recorder.results();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results.at("dup-0"), results.at("dup-1"));
+  EXPECT_EQ(results.at("dup-0"), results.at("dup-2"));
+}
+
+TEST(JobServer, ControlPlaneAndErrorEnvelopes) {
+  Recorder recorder;
+  serve::ServerOptions options;
+  options.threads = 1;
+  serve::JobServer server(options, std::ref(recorder));
+
+  EXPECT_TRUE(server.submit_line(R"({"op":"ping"})"));
+  EXPECT_TRUE(
+      server.submit_line(R"({"op":"optimize","id":"x","soc":"nope"})"));
+  EXPECT_TRUE(server.submit_line(R"({"op":"cancel","id":"ghost"})"));
+  EXPECT_TRUE(server.submit_line(R"({"op":"stats"})"));
+  server.drain();
+  EXPECT_FALSE(server.submit_line(R"({"op":"shutdown"})"));
+  // After shutdown the server stops accepting without answering.
+  EXPECT_FALSE(server.submit_line(R"({"op":"ping"})"));
+
+  bool saw_pong = false;
+  bool saw_unknown_soc = false;
+  bool saw_unknown_id = false;
+  bool saw_stats = false;
+  bool saw_bye = false;
+  for (const std::string& line : recorder.lines()) {
+    const JsonValue root = parse_json(line);  // every line is valid JSON
+    const std::string& type = root.find("type")->as_string();
+    saw_pong |= type == "pong";
+    saw_stats |= type == "stats";
+    saw_bye |= type == "bye";
+    if (type == "error") {
+      const std::string& error = root.find("error")->as_string();
+      saw_unknown_soc |= error.find("unknown benchmark") != std::string::npos;
+      saw_unknown_id |= error.find("unknown job id") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_pong);
+  EXPECT_TRUE(saw_unknown_soc);
+  EXPECT_TRUE(saw_unknown_id);
+  EXPECT_TRUE(saw_stats);
+  EXPECT_TRUE(saw_bye);
+}
+
+TEST(JobServer, ServeStreamSpeaksTheProtocolEndToEnd) {
+  std::istringstream in(
+      R"({"op":"ping"})"
+      "\n"
+      R"({"op":"optimize","id":"s1","soc":"mini5","wmax":4,"nr":300})"
+      "\n"
+      R"({"op":"shutdown"})"
+      "\n"
+      R"({"op":"ping"})"  // after shutdown: must not be answered
+      "\n");
+  std::ostringstream out;
+  serve::ServerOptions options;
+  options.threads = 2;
+  options.progress = false;
+  EXPECT_EQ(serve::serve_stream(in, out, options), 0);
+
+  std::vector<std::string> types;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    types.push_back(parse_json(line).find("type")->as_string());
+  }
+  ASSERT_EQ(types.size(), 4u);
+  EXPECT_EQ(types[0], "pong");
+  EXPECT_EQ(types[1], "ack");
+  EXPECT_EQ(types[2], "result");
+  EXPECT_EQ(types[3], "bye");
+}
+
+}  // namespace
+}  // namespace sitam

