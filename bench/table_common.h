@@ -19,10 +19,14 @@
 //                       2 restarts on 2 threads (explicit flags still win)
 //   --trace-out=FILE    write a Chrome trace-event JSON of the run
 //   --metrics-out=FILE  write the counter/histogram metrics JSON
+//   --store-out=FILE    append one result-store record per N_r sweep
+//                       (see docs/RESULT_STORE.md); a failed append is a
+//                       hard error, not a warning
 #pragma once
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,7 +35,10 @@
 #include "core/report.h"
 #include "obs/export.h"
 #include "soc/benchmarks.h"
+#include "store/record.h"
+#include "store/store.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 
 namespace sitam::bench {
@@ -104,6 +111,13 @@ inline int run_table_bench(const std::string& soc_name, int argc,
   }
   obs::TraceEmitter emitter = trace_emitter_from(args, std::move(manifest));
 
+  // --store-out: persistent per-sweep records for `sitam report` trends.
+  const std::string store_out = args.get_or("store-out", std::string());
+  std::unique_ptr<store::ResultStore> results;
+  if (!store_out.empty()) {
+    results = std::make_unique<store::ResultStore>(store_out);
+  }
+
   const Soc soc = load_benchmark(soc_name);
   std::cout << "=== " << soc_name
             << ": SOC test architecture optimization for SI faults ===\n";
@@ -137,6 +151,7 @@ inline int run_table_bench(const std::string& soc_name, int argc,
 
     Stopwatch sweep_watch;
     const SweepResult sweep = run_sweep(workload, widths, optimizer);
+    const double sweep_seconds = sweep_watch.seconds();
     EvaluatorStats evals;
     for (const ExperimentOutcome& row : sweep.rows) {
       for (const OptimizeResult& result : row.per_grouping) {
@@ -145,11 +160,69 @@ inline int run_table_bench(const std::string& soc_name, int argc,
     }
     std::cout << sweep_caption(sweep) << "\n"
               << render_paper_table(sweep)
-              << "(TAM optimization for all rows: " << sweep_watch.seconds()
+              << "(TAM optimization for all rows: " << sweep_seconds
               << " s; " << render_evaluator_stats(evals) << ")\n\n";
     if (args.has("csv")) {
       std::cout << render_paper_table(sweep).csv() << "\n";
     }
+
+    if (results != nullptr) {
+      store::StoreRecord record;
+      record.manifest =
+          bench_manifest(args, soc_name, seed, optimizer.threads);
+      record.manifest.add_extra("nr", std::to_string(n_r));
+      record.manifest.add_extra("restarts",
+                                std::to_string(optimizer.restarts));
+      record.manifest.add_extra("memoize",
+                                optimizer.evaluator.memoize ? "1" : "0");
+      record.manifest.add_extra("delta_eval",
+                                optimizer.delta_eval ? "1" : "0");
+      record.scenario = soc_name + "/nr" + std::to_string(n_r);
+      {
+        std::string config = "memoize=";
+        config += optimizer.evaluator.memoize ? '1' : '0';
+        config += ";delta=";
+        config += optimizer.delta_eval ? '1' : '0';
+        config += ";nr=" + std::to_string(n_r);
+        config += ";restarts=" + std::to_string(optimizer.restarts);
+        config += ";seed=" + std::to_string(seed);
+        config += ";widths=";
+        for (const int w : widths) config += std::to_string(w) + ",";
+        record.config_hash = store::store_hash_hex(config);
+      }
+      record.metrics["prep_seconds"] = prep_seconds;
+      record.metrics["seconds"] = sweep_seconds;
+      record.metrics["evaluations"] =
+          static_cast<double>(evals.evaluations);
+      record.metrics["cache_misses"] =
+          static_cast<double>(evals.cache_misses);
+      record.metrics["memo_hit_rate"] = evals.memo_hit_rate();
+      record.metrics["delta_hit_rate"] = evals.delta_hit_rate();
+      record.metrics["cache_hit_rate"] = evals.hit_rate();
+      for (const ExperimentOutcome& row : sweep.rows) {
+        const std::string prefix = "w" + std::to_string(row.w_max);
+        record.metrics[prefix + ".t_baseline"] =
+            static_cast<double>(row.t_baseline);
+        record.metrics[prefix + ".t_min"] = static_cast<double>(row.t_min);
+      }
+      {
+        JsonWriter digest;
+        digest.begin_object();
+        for (const auto& [name, value] : record.metrics) {
+          digest.kv(name, value);
+        }
+        digest.end_object();
+        record.result_digest = store::store_hash_hex(digest.str());
+      }
+      if (!results->append(record)) {
+        std::cerr << "error: store append failed for " << store_out << "\n";
+        return 1;
+      }
+    }
+  }
+  if (results != nullptr && !results->flush_index()) {
+    std::cerr << "error: store index flush failed for " << store_out << "\n";
+    return 1;
   }
   return emitter.finish() ? 0 : 1;
 }

@@ -96,6 +96,9 @@ void write_metrics_json(JsonWriter& json, const TraceDump& dump,
     json.kv("min", histogram.min);
     json.kv("max", histogram.max);
     json.kv("mean", histogram.mean());
+    json.kv("p50", histogram.quantile(0.50));
+    json.kv("p95", histogram.quantile(0.95));
+    json.kv("p99", histogram.quantile(0.99));
     // Bucket b covers values with bit width b: [2^(b-1), 2^b).
     json.key("buckets").begin_array();
     for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {

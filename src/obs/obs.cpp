@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <mutex>
 #include <utility>
 
@@ -146,6 +147,36 @@ void HistogramData::record(std::int64_t value) noexcept {
     bucket = static_cast<std::size_t>(std::min(width, 63));
   }
   ++buckets[bucket];
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count <= 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const double target = q * static_cast<double>(count - 1);
+  std::int64_t before = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::int64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    const double last = static_cast<double>(before + in_bucket - 1);
+    if (target <= last) {
+      // The value range bucket b covers; bucket 0 holds values <= 0.
+      const double lo =
+          b == 0 ? std::min(0.0, static_cast<double>(min))
+                 : std::exp2(static_cast<double>(b) - 1.0);
+      const double hi = b == 0 ? 0.0 : std::exp2(static_cast<double>(b));
+      const double first = static_cast<double>(before);
+      const double f =
+          in_bucket == 1
+              ? 0.5
+              : (target - first) / static_cast<double>(in_bucket - 1);
+      const double value = lo + f * (hi - lo);
+      return std::max(static_cast<double>(min),
+                      std::min(static_cast<double>(max), value));
+    }
+    before += in_bucket;
+  }
+  return static_cast<double>(max);
 }
 
 void HistogramData::merge(const HistogramData& other) noexcept {

@@ -59,6 +59,11 @@ struct HistogramData {
 
   void record(std::int64_t value) noexcept;
   void merge(const HistogramData& other) noexcept;
+  /// Quantile estimate for q in [0, 1]: the fractional rank q*(count-1)
+  /// is located in its bucket and interpolated linearly across the
+  /// bucket's value range, then clamped to [min, max] (so single-sample
+  /// and single-bucket-edge cases are exact). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
   [[nodiscard]] double mean() const noexcept {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);

@@ -11,6 +11,8 @@
 #include "obs/obs.h"
 #include "soc/benchmarks.h"
 #include "soc/parser.h"
+#include "store/record.h"
+#include "store/store.h"
 #include "util/log.h"
 
 namespace sitam::serve {
@@ -56,7 +58,12 @@ JobServer::JobServer(ServerOptions options, Sink sink)
       sink_(std::move(sink)),
       context_(options.context),
       pool_(options.threads == 0 ? ThreadPool::hardware_threads()
-                                 : std::max(1, options.threads)) {}
+                                 : std::max(1, options.threads)) {
+  if (!options_.stats_store_path.empty() && options_.stats_store_every > 0) {
+    stats_store_ =
+        std::make_unique<store::ResultStore>(options_.stats_store_path);
+  }
+}
 
 JobServer::~JobServer() { drain(); }
 
@@ -263,11 +270,73 @@ void JobServer::run_group(const std::shared_ptr<JobGroup>& group) {
     }
   }
 
+  maybe_snapshot_stats();
+
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     --in_flight_;
   }
   idle_.notify_all();
+}
+
+void JobServer::maybe_snapshot_stats() {
+  if (stats_store_ == nullptr) return;
+  ServerStats server;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // One snapshot per cadence boundary, even when a burst of completions
+    // jumps several multiples at once.
+    if (stats_.completed <
+        (stats_snapshots_ + 1) * options_.stats_store_every) {
+      return;
+    }
+    stats_snapshots_ = stats_.completed / options_.stats_store_every;
+    server = stats_;
+  }
+  const ContextStats context = context_.stats();
+
+  store::StoreRecord record;
+  record.manifest = obs::RunManifest::collect("sitam serve");
+  record.manifest.scenario = "serve.stats";
+  record.manifest.threads = options_.threads;
+  record.manifest.add_extra("stats_store_every",
+                            std::to_string(options_.stats_store_every));
+  record.scenario = "serve.stats";
+  record.config_hash = store::store_hash_hex(
+      "every=" + std::to_string(options_.stats_store_every) +
+      ";threads=" + std::to_string(options_.threads));
+  record.metrics["server.received"] = static_cast<double>(server.received);
+  record.metrics["server.malformed"] = static_cast<double>(server.malformed);
+  record.metrics["server.jobs"] = static_cast<double>(server.jobs);
+  record.metrics["server.followers"] = static_cast<double>(server.followers);
+  record.metrics["server.completed"] = static_cast<double>(server.completed);
+  record.metrics["server.cancelled"] = static_cast<double>(server.cancelled);
+  record.metrics["server.failed"] = static_cast<double>(server.failed);
+  record.metrics["context.requests"] = static_cast<double>(context.requests);
+  record.metrics["context.result_hits"] =
+      static_cast<double>(context.result_hits);
+  record.metrics["context.result_misses"] =
+      static_cast<double>(context.result_misses);
+  record.metrics["context.workload_hits"] =
+      static_cast<double>(context.workload_hits);
+  record.metrics["context.workload_misses"] =
+      static_cast<double>(context.workload_misses);
+  record.metrics["context.cancelled"] = static_cast<double>(context.cancelled);
+  record.metrics["context.socs_interned"] =
+      static_cast<double>(context.socs_interned);
+  {
+    // The digest covers the metric payload: two snapshots with identical
+    // counters digest identically.
+    JsonWriter json;
+    json.begin_object();
+    for (const auto& [name, value] : record.metrics) json.kv(name, value);
+    json.end_object();
+    record.result_digest = store::store_hash_hex(json.str());
+  }
+  if (!stats_store_->append(record)) {
+    SITAM_WARN << "serve: stats snapshot append failed for "
+               << options_.stats_store_path;
+  }
 }
 
 void JobServer::drain() {

@@ -41,6 +41,10 @@
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 
+namespace sitam::store {
+class ResultStore;
+}  // namespace sitam::store
+
 namespace sitam::serve {
 
 struct ServerOptions {
@@ -50,6 +54,14 @@ struct ServerOptions {
   SitamContext::Options context;
   /// Emit a "progress" line when a worker picks a job up.
   bool progress = true;
+  /// When non-empty (and stats_store_every > 0), the server appends a
+  /// "serve.stats" record — the ServerStats + ContextStats counters as a
+  /// metric map — into this result store every stats_store_every
+  /// completed jobs. Cadence is keyed to job completions, not wall
+  /// clock, so a snapshot schedule is reproducible for a given request
+  /// stream. See docs/RESULT_STORE.md.
+  std::string stats_store_path;
+  std::int64_t stats_store_every = 0;
 };
 
 /// Monotonic protocol-level counters (the context has its own; see
@@ -105,6 +117,9 @@ class JobServer {
   void run_group(const std::shared_ptr<JobGroup>& group);
   void emit(const std::string& line);
   void write_stats_response();
+  /// Appends one "serve.stats" record when a snapshot cadence boundary
+  /// was crossed; no-op when the store is disabled.
+  void maybe_snapshot_stats();
 
   const ServerOptions options_;
   Sink sink_;
@@ -117,7 +132,11 @@ class JobServer {
   std::map<std::uint64_t, std::shared_ptr<JobGroup>> groups_;  // guarded_by(mutex_)
   std::map<std::string, std::shared_ptr<JobGroup>> jobs_by_id_;  // guarded_by(mutex_)
   ServerStats stats_;                                    // guarded_by(mutex_)
+  std::int64_t stats_snapshots_ = 0;                     // guarded_by(mutex_)
   mutable std::mutex mutex_;
+  /// Open only when options_.stats_store_path is set; appends are the
+  /// store's own critical section, never taken under mutex_.
+  std::unique_ptr<store::ResultStore> stats_store_;
   /// Signalled when in_flight_ reaches zero; notifying needs no lock.
   std::condition_variable idle_;
   /// Traced jobs hold the write side (exclusive TraceSession), everyone

@@ -1,0 +1,104 @@
+#include "store/import.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace sitam::store {
+
+void flatten_numeric_metrics(const JsonValue& value, const std::string& prefix,
+                             std::map<std::string, double>& metrics) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNumber:
+      metrics[prefix] = value.as_double();
+      break;
+    case JsonValue::Kind::kBool:
+      metrics[prefix] = value.as_bool() ? 1.0 : 0.0;
+      break;
+    case JsonValue::Kind::kObject:
+      for (const JsonValue::Member& member : value.as_object()) {
+        flatten_numeric_metrics(member.second,
+                                prefix.empty()
+                                    ? member.first
+                                    : prefix + "." + member.first,
+                                metrics);
+      }
+      break;
+    case JsonValue::Kind::kArray: {
+      const auto& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        flatten_numeric_metrics(items[i], prefix + "." + std::to_string(i),
+                                metrics);
+      }
+      break;
+    }
+    case JsonValue::Kind::kNull:
+    case JsonValue::Kind::kString:
+      break;  // Identity lives in the manifest, not the metric map.
+  }
+}
+
+namespace {
+
+/// Canonical config identity of an imported document: the manifest fields
+/// that distinguish one configuration of one program from another.
+std::string manifest_config_text(const obs::RunManifest& manifest) {
+  std::ostringstream os;
+  os << "program=" << manifest.program << ";seed=" << manifest.seed
+     << ";threads=" << manifest.threads;
+  for (const auto& [key, value] : manifest.extra) {
+    os << ';' << key << '=' << value;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+StoreRecord import_result_document(const std::string& text,
+                                   const std::string& source_name) {
+  const JsonValue root = parse_json(text);
+  if (!root.is_object()) {
+    throw std::invalid_argument(source_name +
+                                ": result document must be a JSON object");
+  }
+  const JsonValue* manifest_value = root.find("manifest");
+  if (manifest_value == nullptr || !manifest_value->is_object()) {
+    throw std::invalid_argument(
+        source_name + ": result document has no 'manifest' object");
+  }
+
+  StoreRecord record;
+  record.manifest = parse_run_manifest(*manifest_value);
+  record.scenario = !record.manifest.scenario.empty()
+                        ? record.manifest.scenario
+                        : (!record.manifest.program.empty()
+                               ? record.manifest.program
+                               : source_name);
+  for (const JsonValue::Member& member : root.as_object()) {
+    if (member.first == "manifest") continue;
+    flatten_numeric_metrics(member.second, member.first, record.metrics);
+  }
+  record.config_hash = store_hash_hex(manifest_config_text(record.manifest));
+  record.result_digest = store_hash_hex(text);
+  return record;
+}
+
+StoreRecord import_result_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read result document '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  // Scenario fallback: the file stem ("BENCH_delta.json" -> "BENCH_delta").
+  std::string stem = path;
+  const std::size_t slash = stem.find_last_of("/\\");
+  if (slash != std::string::npos) stem.erase(0, slash + 1);
+  const std::size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem.erase(dot);
+  return import_result_document(text.str(), stem);
+}
+
+}  // namespace sitam::store

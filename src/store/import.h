@@ -1,0 +1,39 @@
+// Backfill importer: turns the hand-curated BENCH_*.json artifacts (and
+// any other manifest-bearing result document) into store records, so the
+// dashboard's history starts at the commits already in version control
+// instead of at the first post-store run.
+//
+// The translation is mechanical and lossless for numbers: every numeric
+// scalar in the document becomes one metric named by its dotted JSON path
+// ("delta.seconds", "rows.2.speedup"; booleans import as 0/1), the
+// embedded "manifest" object is lifted verbatim into the record's
+// manifest, and the record digest hashes the exact document text. That
+// makes reconciliation checkable: a dashboard row built from an imported
+// record must agree field-for-field with the source artifact's manifest.
+#pragma once
+
+#include <string>
+
+#include "store/record.h"
+
+namespace sitam::store {
+
+/// Flattens every numeric scalar under `value` into `metrics`, joining
+/// object keys and array indices with '.' ("delta.seconds", "rows.2.t_min";
+/// booleans become 0/1, strings and nulls are skipped). The importer and
+/// the sweep fleet share this one JSON -> metric-map translation.
+void flatten_numeric_metrics(const JsonValue& value, const std::string& prefix,
+                             std::map<std::string, double>& metrics);
+
+/// Imports one result document. `source_name` names the document in
+/// errors and is the scenario fallback when the manifest has none (for a
+/// file, pass the file stem). Throws JsonParseError on malformed JSON and
+/// std::invalid_argument when the document has no "manifest" object.
+[[nodiscard]] StoreRecord import_result_document(const std::string& text,
+                                                 const std::string& source_name);
+
+/// Reads and imports `path`. Throws std::runtime_error when the file
+/// cannot be read, plus everything import_result_document throws.
+[[nodiscard]] StoreRecord import_result_file(const std::string& path);
+
+}  // namespace sitam::store

@@ -1,0 +1,134 @@
+#include "store/record.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace sitam::store {
+
+obs::RunManifest parse_run_manifest(const JsonValue& value) {
+  if (!value.is_object()) {
+    throw std::invalid_argument("record 'manifest' must be an object");
+  }
+  obs::RunManifest manifest;
+  for (const JsonValue::Member& member : value.as_object()) {
+    const std::string& field = member.first;
+    const JsonValue& v = member.second;
+    if (field == "program") {
+      manifest.program = v.as_string();
+    } else if (field == "scenario") {
+      manifest.scenario = v.as_string();
+    } else if (field == "seed") {
+      manifest.seed = static_cast<std::uint64_t>(v.as_int());
+    } else if (field == "threads") {
+      manifest.threads = static_cast<int>(v.as_int());
+    } else if (field == "build_type") {
+      manifest.build_type = v.as_string();
+    } else if (field == "sanitizer") {
+      manifest.sanitizer = v.as_string();
+    } else if (field == "git_describe") {
+      manifest.git_describe = v.as_string();
+    } else if (field == "hardware_threads") {
+      manifest.hardware_threads = static_cast<int>(v.as_int());
+    } else if (field == "config") {
+      for (const JsonValue::Member& extra : v.as_object()) {
+        manifest.add_extra(extra.first, extra.second.as_string());
+      }
+    }
+  }
+  return manifest;
+}
+
+std::string store_hash_hex(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[hash & 0xF];
+    hash >>= 4;
+  }
+  return hex;
+}
+
+void StoreRecord::write(JsonWriter& json) const {
+  json.begin_object();
+  json.kv("schema", schema);
+  json.key("manifest");
+  manifest.write(json);
+  json.kv("scenario", scenario);
+  json.kv("config_hash", config_hash);
+  json.kv("result_digest", result_digest);
+  json.key("metrics").begin_object();
+  for (const auto& [name, value] : metrics) json.kv(name, value);
+  json.end_object();
+  json.end_object();
+}
+
+std::string StoreRecord::to_line() const {
+  JsonWriter json;
+  write(json);
+  return json.str();
+}
+
+StoreRecord StoreRecord::parse(std::string_view line) {
+  return from_json(parse_json(line));
+}
+
+StoreRecord StoreRecord::from_json(const JsonValue& root) {
+  if (!root.is_object()) {
+    throw std::invalid_argument("store record must be a JSON object");
+  }
+  StoreRecord record;
+  bool saw_schema = false;
+  bool saw_manifest = false;
+  for (const JsonValue::Member& member : root.as_object()) {
+    const std::string& field = member.first;
+    const JsonValue& value = member.second;
+    if (field == "schema") {
+      if (!value.is_integer() || value.as_int() != kStoreSchemaVersion) {
+        throw std::invalid_argument("unsupported store record schema");
+      }
+      record.schema = static_cast<int>(value.as_int());
+      saw_schema = true;
+    } else if (field == "manifest") {
+      record.manifest = parse_run_manifest(value);
+      saw_manifest = true;
+    } else if (field == "scenario") {
+      record.scenario = value.as_string();
+    } else if (field == "config_hash") {
+      record.config_hash = value.as_string();
+    } else if (field == "result_digest") {
+      record.result_digest = value.as_string();
+    } else if (field == "metrics") {
+      for (const JsonValue::Member& metric : value.as_object()) {
+        if (!metric.second.is_number()) {
+          throw std::invalid_argument("store metric '" + metric.first +
+                                      "' must be a number");
+        }
+        record.metrics[metric.first] = metric.second.as_double();
+      }
+    } else {
+      throw std::invalid_argument("unknown store record field '" + field +
+                                  "'");
+    }
+  }
+  if (!saw_schema) {
+    throw std::invalid_argument("store record is missing 'schema'");
+  }
+  if (!saw_manifest) {
+    throw std::invalid_argument("store record is missing 'manifest'");
+  }
+  if (record.scenario.empty()) {
+    throw std::invalid_argument("store record is missing 'scenario'");
+  }
+  if (record.config_hash.empty()) {
+    throw std::invalid_argument("store record is missing 'config_hash'");
+  }
+  return record;
+}
+
+}  // namespace sitam::store

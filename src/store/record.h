@@ -1,0 +1,94 @@
+// StoreRecord: the one-line JSON envelope the persistent result store
+// appends per completed run — the RunManifest (which binary / commit /
+// seed / threads), a scenario key naming the cell of the experiment grid,
+// a config hash identifying every result-affecting knob, a digest of the
+// result payload, and a flat metric map (t_soc, seconds, hit rates, ...).
+//
+// Records are schema-versioned: a reader rejects records whose "schema"
+// it does not understand instead of mis-parsing them. The identity of a
+// record inside the store index is StoreKey — (scenario, config_hash,
+// git_describe) — so a sweep re-run at the same commit with the same
+// config finds its cell and skips it, while a new commit re-runs the
+// whole grid (that per-commit history is exactly what `sitam report`
+// charts). See docs/RESULT_STORE.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "obs/manifest.h"
+
+namespace sitam {
+class JsonWriter;
+class JsonValue;
+}  // namespace sitam
+
+namespace sitam::store {
+
+/// Current record schema. Bump when a field changes meaning; readers skip
+/// records with an unknown schema (counted, never mis-parsed).
+inline constexpr int kStoreSchemaVersion = 1;
+
+/// FNV-1a 64-bit over `text`, rendered as 16 lowercase hex digits — the
+/// store's canonical hash for config identities and result digests.
+[[nodiscard]] std::string store_hash_hex(std::string_view text);
+
+/// Reconstructs a RunManifest from the object RunManifest::write emits
+/// (the shape every BENCH_*.json and metrics file embeds). Unknown fields
+/// are ignored so adding a provenance hint does not orphan old records.
+/// Throws std::invalid_argument when `value` is not an object.
+[[nodiscard]] obs::RunManifest parse_run_manifest(const JsonValue& value);
+
+/// Index identity of a record: one cell of one configuration at one
+/// commit. Ordered so it can key a std::map deterministically.
+struct StoreKey {
+  std::string scenario;
+  std::string config_hash;
+  std::string git_describe;
+
+  [[nodiscard]] bool operator<(const StoreKey& other) const {
+    return std::tie(scenario, config_hash, git_describe) <
+           std::tie(other.scenario, other.config_hash, other.git_describe);
+  }
+  [[nodiscard]] bool operator==(const StoreKey& other) const {
+    return scenario == other.scenario && config_hash == other.config_hash &&
+           git_describe == other.git_describe;
+  }
+};
+
+/// One store record. `metrics` is a flat name -> number map (std::map so
+/// serialization order is deterministic); everything a dashboard charts
+/// goes here, everything that identifies the run goes in the key fields.
+struct StoreRecord {
+  int schema = kStoreSchemaVersion;
+  obs::RunManifest manifest;
+  std::string scenario;      ///< Grid-cell key, e.g. "p93791/w32/nr10000".
+  std::string config_hash;   ///< store_hash_hex of the canonical config.
+  std::string result_digest; ///< store_hash_hex of the result payload.
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] StoreKey key() const {
+    return StoreKey{scenario, config_hash, manifest.git_describe};
+  }
+
+  /// Writes the record as one JSON object into `json`.
+  void write(JsonWriter& json) const;
+
+  /// The record as a single line of JSON (no trailing newline) — the
+  /// exact bytes ResultStore appends.
+  [[nodiscard]] std::string to_line() const;
+
+  /// Parses one record from a line previously produced by to_line().
+  /// Throws JsonParseError on malformed JSON and std::invalid_argument on
+  /// schema violations (wrong/unknown "schema", missing fields, non-string
+  /// keys, non-numeric metrics).
+  [[nodiscard]] static StoreRecord parse(std::string_view line);
+
+  /// Same, from an already-parsed document.
+  [[nodiscard]] static StoreRecord from_json(const JsonValue& root);
+};
+
+}  // namespace sitam::store

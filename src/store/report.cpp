@@ -1,0 +1,198 @@
+#include "store/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace sitam::store {
+
+namespace {
+
+bool scenario_selected(const std::string& scenario,
+                       const std::vector<std::string>& filters) {
+  if (filters.empty()) return true;
+  for (const std::string& filter : filters) {
+    if (scenario.find(filter) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Percentage change new vs old, or no value when not comparable.
+bool delta_pct(double previous, double current, double* out) {
+  if (previous == 0.0) return false;
+  *out = (current - previous) / previous * 100.0;
+  return true;
+}
+
+}  // namespace
+
+std::string format_metric(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<std::int64_t>(value);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(6);
+  os << value;
+  return os.str();
+}
+
+Dashboard Dashboard::build(const std::vector<StoreRecord>& records,
+                           const DashboardOptions& options) {
+  Dashboard dashboard;
+  // scenario -> trend position; (scenario, describe, config) -> row
+  // position. Plain maps keep every iteration deterministic.
+  std::map<std::string, std::size_t> trend_of;
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t>
+      row_of;
+
+  for (const StoreRecord& record : records) {
+    if (!scenario_selected(record.scenario, options.scenario_filters)) {
+      continue;
+    }
+    ++dashboard.records;
+    const auto trend_it = trend_of.find(record.scenario);
+    std::size_t trend_pos;
+    if (trend_it == trend_of.end()) {
+      trend_pos = dashboard.scenarios.size();
+      trend_of.emplace(record.scenario, trend_pos);
+      ScenarioTrend trend;
+      trend.scenario = record.scenario;
+      dashboard.scenarios.push_back(std::move(trend));
+    } else {
+      trend_pos = trend_it->second;
+    }
+    ScenarioTrend& trend = dashboard.scenarios[trend_pos];
+
+    const std::tuple<std::string, std::string, std::string> row_key{
+        record.scenario, record.manifest.git_describe, record.config_hash};
+    const auto row_it = row_of.find(row_key);
+    CommitRow* row;
+    if (row_it == row_of.end()) {
+      row_of.emplace(row_key, trend.rows.size());
+      trend.rows.emplace_back();
+      row = &trend.rows.back();
+      row->git_describe = record.manifest.git_describe;
+      row->program = record.manifest.program;
+      row->build_type = record.manifest.build_type;
+      row->config_hash = record.config_hash;
+    } else {
+      row = &trend.rows[row_it->second];
+    }
+    ++row->record_count;
+    for (const auto& [name, value] : record.metrics) {
+      row->metrics[name] = value;  // Latest record wins.
+    }
+  }
+
+  std::sort(dashboard.scenarios.begin(), dashboard.scenarios.end(),
+            [](const ScenarioTrend& a, const ScenarioTrend& b) {
+              return a.scenario < b.scenario;
+            });
+  return dashboard;
+}
+
+std::string render_dashboard_markdown(const Dashboard& dashboard,
+                                      const DashboardOptions& options) {
+  std::ostringstream os;
+  os << "# sitam regression dashboard\n\n"
+     << dashboard.records << " record(s), " << dashboard.scenarios.size()
+     << " scenario(s).\n";
+  for (const ScenarioTrend& trend : dashboard.scenarios) {
+    os << "\n## " << trend.scenario << "\n\n";
+
+    // Columns: the highlighted metrics this scenario actually carries.
+    std::vector<std::string> columns;
+    for (const std::string& metric : options.highlight) {
+      for (const CommitRow& row : trend.rows) {
+        if (row.metrics.find(metric) != row.metrics.end()) {
+          columns.push_back(metric);
+          break;
+        }
+      }
+    }
+
+    os << "| commit | program | config | runs |";
+    for (const std::string& column : columns) os << ' ' << column << " |";
+    os << "\n|---|---|---|---|";
+    for (std::size_t i = 0; i < columns.size(); ++i) os << "---|";
+    os << '\n';
+
+    const CommitRow* previous = nullptr;
+    for (const CommitRow& row : trend.rows) {
+      os << "| " << row.git_describe << " | " << row.program << " | "
+         << row.config_hash.substr(0, 8) << " | " << row.record_count
+         << " |";
+      for (const std::string& column : columns) {
+        os << ' ';
+        const auto it = row.metrics.find(column);
+        if (it == row.metrics.end()) {
+          os << "—";
+        } else {
+          os << format_metric(it->second);
+          if (previous != nullptr) {
+            const auto prev_it = previous->metrics.find(column);
+            double pct = 0.0;
+            if (prev_it != previous->metrics.end() &&
+                delta_pct(prev_it->second, it->second, &pct) &&
+                pct != 0.0) {
+              os.setf(std::ios::showpos);
+              os << " (";
+              os.precision(2);
+              os << std::fixed << pct;
+              os.unsetf(std::ios::showpos | std::ios::fixed);
+              os.precision(6);
+              os << "%)";
+            }
+          }
+        }
+        os << " |";
+      }
+      os << '\n';
+      previous = &row;
+    }
+  }
+  return os.str();
+}
+
+void write_dashboard_json(JsonWriter& json, const Dashboard& dashboard) {
+  json.begin_object();
+  json.kv("schema", kStoreSchemaVersion);
+  json.kv("records", dashboard.records);
+  json.key("scenarios").begin_array();
+  for (const ScenarioTrend& trend : dashboard.scenarios) {
+    json.begin_object();
+    json.kv("scenario", trend.scenario);
+    json.key("rows").begin_array();
+    for (const CommitRow& row : trend.rows) {
+      json.begin_object();
+      json.kv("git_describe", row.git_describe);
+      json.kv("program", row.program);
+      json.kv("build_type", row.build_type);
+      json.kv("config_hash", row.config_hash);
+      json.kv("records", row.record_count);
+      json.key("metrics").begin_object();
+      for (const auto& [name, value] : row.metrics) json.kv(name, value);
+      json.end_object();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string dashboard_json(const Dashboard& dashboard) {
+  JsonWriter json;
+  write_dashboard_json(json, dashboard);
+  return json.str();
+}
+
+}  // namespace sitam::store

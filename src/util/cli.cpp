@@ -73,4 +73,22 @@ std::vector<std::int64_t> CliArgs::get_list_or(
   return out;
 }
 
+std::vector<std::string> CliArgs::get_strings_or(
+    const std::string& name, std::vector<std::string> fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= v->size()) {
+    const auto comma = v->find(',', pos);
+    std::string tok =
+        v->substr(pos, comma == std::string::npos ? std::string::npos
+                                                  : comma - pos);
+    if (!tok.empty()) out.push_back(std::move(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace sitam

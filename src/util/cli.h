@@ -29,6 +29,11 @@ class CliArgs {
   [[nodiscard]] std::vector<std::int64_t> get_list_or(
       const std::string& name, std::vector<std::int64_t> fallback) const;
 
+  /// Parses a comma-separated string list, e.g. --socs=d695,p93791.
+  /// Empty tokens are dropped ("a,,b" -> {"a","b"}).
+  [[nodiscard]] std::vector<std::string> get_strings_or(
+      const std::string& name, std::vector<std::string> fallback) const;
+
   [[nodiscard]] const std::string& program() const { return program_; }
 
  private:

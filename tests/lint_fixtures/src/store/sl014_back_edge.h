@@ -1,0 +1,12 @@
+// Fixture: SL014 must fire on a back-edge out of the store subsystem —
+// store (layer 2) must not depend on serve (layer 6); the fleet driver
+// lives in src/serve and includes store, never the reverse.
+#pragma once
+
+#include "serve/server.h"  // line 6: SL014 (back-edge store -> serve)
+
+namespace sitam {
+
+void fixture_store_back_edge();
+
+}  // namespace sitam

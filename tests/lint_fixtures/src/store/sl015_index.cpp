@@ -1,0 +1,28 @@
+// Fixture: inside src/store, SL015 treats *index*-named containers as
+// cache-shaped state — an index that inserts per record but never
+// clears/rebuilds must fire; one with a rebuild path must stay quiet.
+#include <map>
+#include <string>
+
+namespace sitam {
+
+class GrowingIndex {
+ public:
+  void add(const std::string& key) {
+    ++index_[key];  // line 12: SL015 (index inserts, no eviction anywhere)
+  }
+
+ private:
+  std::map<std::string, long> index_;
+};
+
+class RebuildableIndex {
+ public:
+  void add(const std::string& key) { ++entries_index_[key]; }
+  void rebuild() { entries_index_.clear(); }  // rebuild path: no finding
+
+ private:
+  std::map<std::string, long> entries_index_;
+};
+
+}  // namespace sitam

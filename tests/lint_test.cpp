@@ -339,6 +339,8 @@ TEST(LintFixtures, EveryRuleFiresExactlyWhereSeeded) {
       {"src/pattern/sl014_cycle_a.h", 5, "SL014"},
       {"src/sitest/sl014_cycle_b.h", 5, "SL014"},
       {"src/soc/sl007_using.h", 6, "SL007"},
+      {"src/store/sl014_back_edge.h", 6, "SL014"},
+      {"src/store/sl015_index.cpp", 12, "SL015"},
       {"src/tam/sl001_rng.cpp", 6, "SL001"},
       {"src/tam/sl001_rng.cpp", 8, "SL001"},
       {"src/tam/sl005_mutator.cpp", 7, "SL005"},

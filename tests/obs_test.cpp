@@ -95,6 +95,40 @@ TEST(Obs, HistogramBucketZeroHoldsNonPositiveValues) {
   EXPECT_EQ(h.max, 1);
 }
 
+// Pins the quantile math exported as p50/p95/p99: fractional rank
+// q*(count-1), linear interpolation across the bucket's value range,
+// clamped to [min, max].
+TEST(Obs, HistogramQuantiles) {
+  obs::HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  obs::HistogramData single;
+  single.record(42);
+  // One sample: every quantile collapses onto it via the [min,max] clamp.
+  EXPECT_DOUBLE_EQ(single.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 42.0);
+
+  obs::HistogramData bucket;  // 4,5,6,7 all land in bucket 3: [4, 8).
+  for (const std::int64_t v : {4, 5, 6, 7}) bucket.record(v);
+  // Rank 0.5 * 3 = 1.5 -> fraction 0.5 across [4, 8) -> 6.
+  EXPECT_DOUBLE_EQ(bucket.quantile(0.5), 6.0);
+  // Rank 2.97 -> fraction 0.99 -> 7.96, clamped to max = 7.
+  EXPECT_DOUBLE_EQ(bucket.quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(bucket.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(bucket.quantile(1.0), 7.0);
+
+  obs::HistogramData spread;  // 1 in bucket 1, 8 in bucket 4.
+  spread.record(1);
+  spread.record(8);
+  // Rank 0.5 falls in bucket 4; a lone sample sits mid-bucket (12),
+  // clamped to max = 8.
+  EXPECT_DOUBLE_EQ(spread.quantile(0.5), 8.0);
+  // Only rank 0 maps onto the first sample; q = 0 reaches it exactly.
+  EXPECT_DOUBLE_EQ(spread.quantile(0.0), 1.0);
+}
+
 TEST(Obs, StoppingTwiceThrows) {
   obs::TraceSession session;
   (void)session.stop();

@@ -100,8 +100,8 @@ constexpr Doc kDocs[] = {
     {"SL014",
      "Subsystem layering: the include graph over src/ must respect the\n"
      "declared DAG\n\n"
-     "    util -> obs -> {soc, interconnect, hypergraph}\n"
-     "         -> {pattern, sitest, wrapper} -> tam -> core\n\n"
+     "    util -> obs -> {soc, interconnect, hypergraph, store}\n"
+     "         -> {pattern, sitest, wrapper} -> tam -> core -> serve\n\n"
      "(an arrow means \"may be depended on by\"). A lower layer including\n"
      "a higher one is a back-edge; mutual includes between same-layer\n"
      "subsystems are a cycle. Either makes the flow facade impossible to\n"
@@ -117,7 +117,10 @@ constexpr Doc kDocs[] = {
      "(and member-style identifiers whose own name says cache/memo) that\n"
      "are inserted into somewhere in the TU must also be cleared, erased,\n"
      "or reassigned somewhere in the TU. The evaluator memo's wholesale\n"
-     "clear at kMemoCapacity is the repo's reference pattern.\n"},
+     "clear at kMemoCapacity is the repo's reference pattern. Inside\n"
+     "src/store the rule also covers *index*/*idx*-named containers: the\n"
+     "result store's derived index grows per record and must keep a\n"
+     "clear/rebuild path (StoreIndex::clear is the reference).\n"},
     {"SL016",
      "Raw SIMD intrinsics outside the sanctioned kernel TUs.\n\n"
      "All vector code lives behind the packed kernel table\n"

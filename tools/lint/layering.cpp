@@ -1,8 +1,8 @@
 // SL014 — cross-TU subsystem layering. Builds the aggregated subsystem
 // graph from per-file include edges over src/, enforces the declared DAG
 //
-//   util -> obs -> {soc, interconnect, hypergraph}
-//        -> {pattern, sitest, wrapper} -> tam -> core
+//   util -> obs -> {soc, interconnect, hypergraph, store}
+//        -> {pattern, sitest, wrapper} -> tam -> core -> serve
 //
 // (an arrow means "may be depended on by"), flags back-edges (a lower
 // layer including a higher one) and same-layer subsystem cycles, and
@@ -25,8 +25,8 @@ struct LayerEntry {
 
 constexpr LayerEntry kLayers[] = {
     {"util", 0},         {"obs", 1},     {"soc", 2},  {"interconnect", 2},
-    {"hypergraph", 2},   {"pattern", 3}, {"sitest", 3}, {"wrapper", 3},
-    {"tam", 4},          {"core", 5},    {"serve", 6},
+    {"hypergraph", 2},   {"store", 2},   {"pattern", 3}, {"sitest", 3},
+    {"wrapper", 3},      {"tam", 4},     {"core", 5},    {"serve", 6},
 };
 
 /// Subsystem of a repo-relative path ("src/tam/evaluator.h" -> "tam"),

@@ -27,6 +27,14 @@ bool cacheish(const std::string& name) {
          lower.find("memo") != std::string::npos;
 }
 
+/// In src/store the derived index maps are the cache-shaped state: they
+/// grow per record and must be bounded by an eviction/rebuild path.
+bool indexish(const std::string& name) {
+  const std::string lower = lowercase(name);
+  return lower.find("index") != std::string::npos ||
+         lower.find("idx") != std::string::npos;
+}
+
 bool container_type(const std::string& decl_text) {
   for (const char* type :
        {"map", "unordered_map", "set", "unordered_set", "vector", "deque",
@@ -295,14 +303,21 @@ void check_unbounded_growth(const std::string& path, const Stripped& file,
   // Candidates: container fields of cache-named classes (or cache-named
   // fields of any class), from this TU and its sibling header; plus, for
   // split class definitions, any member-style identifier (trailing '_')
-  // whose name itself says cache/memo.
+  // whose name itself says cache/memo. Inside src/store the derived index
+  // maps count as cache-shaped state too (SL015 covers them since the
+  // result store landed): an index that inserts per record but has no
+  // clear/rebuild path grows for the process lifetime.
+  const bool store_tu = starts_with(path, "src/store/");
+  const auto cache_shaped = [store_tu](const std::string& name) {
+    return cacheish(name) || (store_tu && indexish(name));
+  };
   std::set<std::string> candidates;
   const auto collect = [&](const std::vector<ClassDecl>& classes) {
     for (const ClassDecl& cls : classes) {
       for (const FieldDecl& field : cls.fields) {
         if (field.is_static || field.is_const) continue;
         if (!container_type(field.decl_text)) continue;
-        if (cacheish(cls.name) || cacheish(field.name)) {
+        if (cache_shaped(cls.name) || cache_shaped(field.name)) {
           candidates.insert(field.name);
         }
       }
@@ -317,7 +332,7 @@ void check_unbounded_growth(const std::string& path, const Stripped& file,
       if (ident_char(c)) {
         token.push_back(c);
       } else {
-        if (token.size() > 1 && token.back() == '_' && cacheish(token)) {
+        if (token.size() > 1 && token.back() == '_' && cache_shaped(token)) {
           candidates.insert(token);
         }
         token.clear();

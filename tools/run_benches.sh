@@ -14,16 +14,24 @@
 # embeds the machine's true hardware thread count — benchmarks that claim
 # more threads than the host has measure scheduler thrash, not speedup.
 #
-# Usage: tools/run_benches.sh [--allow-dirty] [build_dir]
+# Every regenerated artifact is also imported into the persistent result
+# store (BENCH_store.jsonl by default; see docs/RESULT_STORE.md), so
+# `sitam report` charts each regeneration as one per-commit row. A store
+# write failure fails the script — a benchmark run whose numbers were
+# dropped on the floor must not look green.
+#
+# Usage: tools/run_benches.sh [--allow-dirty] [--store=FILE] [build_dir]
 set -euo pipefail
 
 allow_dirty=0
 build_dir=build
+store_file=BENCH_store.jsonl
 for arg in "$@"; do
   case "$arg" in
     --allow-dirty) allow_dirty=1 ;;
+    --store=*) store_file="${arg#--store=}" ;;
     -h|--help)
-      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) build_dir="$arg" ;;
@@ -48,7 +56,7 @@ echo "== run_benches: $describe, $hardware_threads hardware thread(s) =="
 # the three artifact writers.
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$hardware_threads" \
-  --target delta_eval_study compaction_study micro_benchmarks
+  --target delta_eval_study compaction_study micro_benchmarks sitam
 
 # Writers emit into the working directory; run from the repo root so the
 # artifacts land next to the ones under version control.
@@ -79,6 +87,14 @@ for artifact in BENCH_delta.json BENCH_compaction.json BENCH_parallel.json; do
     echo "warning: $artifact embeds hardware_threads=${observed:-<missing>}" \
          "but nproc reports $hardware_threads; results were measured at" \
          "the embedded value" >&2
+  fi
+  # Persist the regenerated artifact into the result store. This must not
+  # degrade to a warning: a silently dropped record means the next
+  # `sitam report` charts a hole where this commit's numbers should be.
+  if ! "$build_dir/tools/sitam" store-import \
+         --store="$store_file" --files="$artifact"; then
+    echo "error: store import of $artifact into $store_file failed" >&2
+    status=1
   fi
 done
 exit "$status"

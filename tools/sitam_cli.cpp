@@ -19,7 +19,11 @@
 #include "core/gantt.h"
 #include "core/report.h"
 #include "obs/export.h"
+#include "serve/fleet.h"
 #include "serve/server.h"
+#include "store/import.h"
+#include "store/report.h"
+#include "store/store.h"
 #include "soc/benchmarks.h"
 #include "soc/itc02.h"
 #include "soc/parser.h"
@@ -416,6 +420,111 @@ int cmd_serve(const CliArgs& args) {
   return serve::serve_stream(std::cin, std::cout, options);
 }
 
+int cmd_sweep_fleet(const CliArgs& args) {
+  serve::FleetOptions options;
+  options.socs = args.get_strings_or("socs", {"d695"});
+  {
+    const auto widths = args.get_list_or("wmax", {16, 32});
+    options.widths.clear();
+    for (const std::int64_t w : widths) {
+      options.widths.push_back(static_cast<int>(w));
+    }
+  }
+  options.backends = args.get_strings_or("backends", {"delta"});
+  {
+    const auto seeds = args.get_list_or("seeds", {0x20070604});
+    options.seeds.clear();
+    for (const std::int64_t s : seeds) {
+      options.seeds.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+  options.pattern_count = args.get_or("nr", std::int64_t{2000});
+  options.grouping = static_cast<int>(args.get_or("parts", std::int64_t{4}));
+  options.restarts =
+      static_cast<int>(args.get_or("restarts", std::int64_t{1}));
+  options.threads = static_cast<int>(args.get_or("threads", std::int64_t{2}));
+  options.store_path = args.get_or("store-out", std::string());
+  options.crash_after =
+      static_cast<int>(args.get_or("crash-after", std::int64_t{0}));
+  options.progress = args.has("progress");
+  if (options.store_path.empty()) {
+    std::cerr << "sweep-fleet requires --store-out=<results.jsonl>\n";
+    return 2;
+  }
+  const serve::FleetSummary summary = serve::run_sweep_fleet(options);
+  std::cout << "fleet: " << summary.planned << " cell(s) planned, "
+            << summary.skipped << " already in store, " << summary.completed
+            << " completed, " << summary.failed << " failed\n";
+  return summary.failed == 0 ? 0 : 1;
+}
+
+int cmd_report(const CliArgs& args) {
+  const std::string store_path = args.get_or("store", std::string());
+  if (store_path.empty()) {
+    std::cerr << "report requires --store=<results.jsonl>\n";
+    return 2;
+  }
+  std::int64_t skipped = 0;
+  const std::vector<store::StoreRecord> records =
+      store::ResultStore::read_all(store_path, &skipped);
+  if (skipped > 0) {
+    std::cerr << "note: skipped " << skipped
+              << " unparseable line(s) in " << store_path << "\n";
+  }
+  store::DashboardOptions options;
+  options.scenario_filters = args.get_strings_or("scenario", {});
+  const store::Dashboard dashboard =
+      store::Dashboard::build(records, options);
+
+  bool wrote = false;
+  if (const auto md_path = args.get("out-md")) {
+    std::ofstream out(*md_path);
+    if (!out) {
+      std::cerr << "cannot write " << *md_path << "\n";
+      return 1;
+    }
+    out << store::render_dashboard_markdown(dashboard, options);
+    std::cout << "wrote " << *md_path << "\n";
+    wrote = true;
+  }
+  if (const auto json_path = args.get("out-json")) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::cerr << "cannot write " << *json_path << "\n";
+      return 1;
+    }
+    out << store::dashboard_json(dashboard) << "\n";
+    std::cout << "wrote " << *json_path << "\n";
+    wrote = true;
+  }
+  if (!wrote) {
+    std::cout << store::render_dashboard_markdown(dashboard, options);
+  }
+  return 0;
+}
+
+int cmd_store_import(const CliArgs& args) {
+  const std::string store_path = args.get_or("store", std::string());
+  const std::vector<std::string> files = args.get_strings_or("files", {});
+  if (store_path.empty() || files.empty()) {
+    std::cerr << "store-import requires --store=<results.jsonl> "
+                 "--files=<a.json,b.json,...>\n";
+    return 2;
+  }
+  store::ResultStore results(store_path);
+  for (const std::string& file : files) {
+    const store::StoreRecord record = store::import_result_file(file);
+    if (!results.append(record)) {
+      std::cerr << "error: store append failed for " << file << "\n";
+      return 1;
+    }
+    std::cout << "imported " << file << " as scenario '" << record.scenario
+              << "' @ " << record.manifest.git_describe << "\n";
+  }
+  results.flush_index();
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage: sitam <command> [--flags]\n"
@@ -430,6 +539,14 @@ int usage() {
          "  verify   --soc=... --wmax=W     optimize + independent check\n"
          "  serve    [--threads=T --quiet]  JSON job server on stdin/stdout\n"
          "           [--cache-dir=D]        (see docs/SERVER.md)\n"
+         "  sweep-fleet --store-out=F       resumable experiment grid ->\n"
+         "           [--socs=a,b --wmax=8,16 --backends=full,memo,delta\n"
+         "            --seeds=1,2 --nr=N --parts=K --threads=T --progress]\n"
+         "                                  JSONL store (docs/RESULT_STORE.md)\n"
+         "  report   --store=F              per-commit regression dashboard\n"
+         "           [--out-md=F --out-json=F --scenario=a,b]\n"
+         "  store-import --store=F --files=a.json,b.json\n"
+         "                                  backfill BENCH_*.json artifacts\n"
          "  (optimize/sweep accept --json --trace-out=F --metrics-out=F;\n"
          "   optimize/sweep/verify accept --restarts=N --threads=T\n"
          "   (0 = all cores) --no-cache --no-delta)\n";
@@ -452,6 +569,9 @@ int main(int argc, char** argv) {
     if (command == "gantt") return cmd_gantt(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "sweep-fleet") return cmd_sweep_fleet(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "store-import") return cmd_store_import(args);
     std::cerr << "unknown command: " << command << "\n";
     return usage();
   } catch (const std::exception& err) {
